@@ -1,0 +1,72 @@
+"""Ablation — greedy vs global-view (batch) validation (§4.1 / §7).
+
+The paper notes the pipelined validator's greediness can sacrifice
+future transactions and defers "non-greedy CC algorithms" to future
+work.  This bench quantifies the gap: the same §6.1-style traces are
+validated greedily (arrival order) and with a global view over each
+T-transaction batch.
+"""
+
+from repro.bench import print_table
+from repro.cc import generate_trace
+from repro.core import BatchRococoValidator, Footprint, RococoValidator
+
+CONCURRENCY = 16
+SEEDS = 12
+N_TXNS = 128
+
+
+def _footprints(trace, committed_count):
+    for txn in trace:
+        yield Footprint.of(txn.read_set, txn.write_set, committed_count(), label=txn.txn)
+
+
+def _run_pair(ops_per_txn):
+    greedy_aborts = batch_aborts = total = 0
+    for seed in range(SEEDS):
+        trace = generate_trace(
+            n_txns=N_TXNS, ops_per_txn=ops_per_txn, locations=256, seed=seed
+        )
+        txns = list(trace)
+        total += len(txns)
+
+        greedy = RococoValidator()
+        batched = BatchRococoValidator()
+        for start in range(0, len(txns), CONCURRENCY):
+            window = txns[start : start + CONCURRENCY]
+            g_snapshot = greedy.committed_count
+            for txn in window:
+                fp = Footprint.of(txn.read_set, txn.write_set, g_snapshot, label=txn.txn)
+                if not greedy.submit(fp).committed:
+                    greedy_aborts += 1
+            b_snapshot = batched.committed_count
+            outcome = batched.submit_batch(
+                [
+                    Footprint.of(t.read_set, t.write_set, b_snapshot, label=t.txn)
+                    for t in window
+                ]
+            )
+            batch_aborts += len(outcome.aborted)
+    return greedy_aborts / total, batch_aborts / total
+
+
+def _sweep():
+    rows = []
+    for n in (8, 12, 16, 24):
+        greedy_rate, batch_rate = _run_pair(n)
+        saved = (greedy_rate - batch_rate) / greedy_rate if greedy_rate else 0.0
+        rows.append([n, greedy_rate, batch_rate, f"{saved:.1%}"])
+    return rows
+
+
+def test_ablation_greedy_vs_batch(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print_table(
+        ["N", "greedy abort rate", "batch abort rate", "aborts saved"],
+        rows,
+        title=f"Greedy vs global-view validation (batch = T = {CONCURRENCY})",
+    )
+    for n, greedy_rate, batch_rate, _ in rows:
+        assert batch_rate <= greedy_rate + 1e-9, n
+    # The global view must win somewhere non-trivially.
+    assert any(g - b > 0.005 for _, g, b, _ in rows)

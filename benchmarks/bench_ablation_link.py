@@ -1,0 +1,52 @@
+"""Ablation — interconnect: in-package CCI vs discrete PCIe (§6.2 fn. 8).
+
+The paper argues in-package integration (sub-600 ns round trip) is
+what makes fine-grained CPU-FPGA interaction viable, contrasting the
+">1 us" round trip of a discrete PCIe card.  This ablation runs
+ROCoCoTM with both link models on a validation-heavy workload.
+"""
+
+from repro.bench import print_table
+from repro.hw import FpgaValidationEngine, harp2_cci_link, pcie_link
+from repro.runtime import RococoTMBackend, SequentialBackend
+from repro.stamp import Ssca2Workload, VacationWorkload, run_stamp
+
+THREADS = 14
+
+
+def _run(workload_cls, link):
+    backend = RococoTMBackend(engine=FpgaValidationEngine(link=link))
+    return run_stamp(workload_cls, backend, THREADS, scale=0.5, seed=1)
+
+
+def _sweep():
+    rows = []
+    for workload_cls in (VacationWorkload, Ssca2Workload):
+        sequential = run_stamp(
+            workload_cls, SequentialBackend(), 1, scale=0.5, seed=1
+        )
+        for link_name, link in (("CCI (HARP2)", harp2_cci_link()), ("PCIe", pcie_link())):
+            stats = _run(workload_cls, link)
+            rows.append(
+                [
+                    workload_cls.name,
+                    link_name,
+                    sequential.makespan_ns / stats.makespan_ns,
+                    stats.validation_ns / max(1, stats.validations) / 1000.0,
+                ]
+            )
+    return rows
+
+
+def test_ablation_interconnect(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print_table(
+        ["workload", "link", "speedup", "validation us/txn"],
+        rows,
+        title=f"Interconnect ablation ({THREADS} threads)",
+    )
+    by = {(r[0], r[1]): r[2] for r in rows}
+    # The low-latency link wins on both, and the gap is largest where
+    # transactions are smallest (ssca2).
+    assert by[("vacation", "CCI (HARP2)")] > by[("vacation", "PCIe")]
+    assert by[("ssca2", "CCI (HARP2)")] > by[("ssca2", "PCIe")]

@@ -1,0 +1,59 @@
+"""Ablation — TSX retry budget (§6.2: "the 4-time retry performs best").
+
+The constant retry policy trades wasted hardware attempts against
+premature serialization on the fallback lock.  This sweep runs the
+TSX model with 1-16 hardware attempts on a contended application and
+prints speedup and abort mix.
+
+Expected deviation (EXPERIMENTS.md): on real TSX the sweet spot sits
+at ~4 retries because a large share of aborts is *persistent*
+(capacity, associativity) — retrying those is pure waste.  Our
+functional model's aborts are mostly transient conflicts, so larger
+budgets keep helping until the fallback path disappears entirely; the
+half of the trade-off the model does reproduce is the left side:
+small budgets trigger the lemming convoy and serialize.
+"""
+
+from repro.bench import print_table
+from repro.runtime import SequentialBackend, TsxBackend
+from repro.stamp import KmeansWorkload, run_stamp
+
+ATTEMPTS = (1, 2, 5, 9, 16)  # 5 = 1 initial + 4 retries (the paper's pick)
+THREADS = 8
+
+
+def _sweep():
+    sequential = run_stamp(KmeansWorkload, SequentialBackend(), 1, scale=0.5, seed=1)
+    rows = []
+    for attempts in ATTEMPTS:
+        stats = run_stamp(
+            KmeansWorkload, TsxBackend(hardware_attempts=attempts), THREADS,
+            scale=0.5, seed=1,
+        )
+        fallbacks = stats.aborts_by_cause.get("cpu-lock-subscription", 0)
+        rows.append(
+            [
+                attempts,
+                sequential.makespan_ns / stats.makespan_ns,
+                stats.abort_rate,
+                fallbacks,
+            ]
+        )
+    return rows
+
+
+def test_ablation_tsx_retry_budget(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print_table(
+        ["hw attempts", "speedup", "abort rate", "lock-subscription aborts"],
+        rows,
+        title=f"TSX retry-policy ablation (kmeans, {THREADS} threads)",
+    )
+    speedups = {r[0]: r[1] for r in rows}
+    fallbacks = {r[0]: r[3] for r in rows}
+    # Left side of the trade-off: small budgets fall back constantly
+    # (lemming convoy) and serialize.
+    assert fallbacks[1] > fallbacks[9]
+    assert speedups[1] <= speedups[9] + 1e-9
+    # Diminishing returns once the fallback path is gone.
+    assert abs(speedups[16] - speedups[9]) < 0.25 * speedups[9]

@@ -1,0 +1,52 @@
+"""Ablation — sliding-window size W (§4.2's W = 64 design choice).
+
+The FPGA bounds the reachability matrix to W transactions; too small a
+window aborts transactions whose snapshots fall off the back
+(window overflow) and taints reordered residents.  The paper fixes
+W = 64 for at most 28 threads; this sweep shows the abort cliff as W
+shrinks below the number of in-flight transactions and the
+convergence to the unbounded validator as W grows.
+"""
+
+from repro.bench import print_table
+from repro.cc import RococoCC, generate_trace
+
+WINDOWS = (2, 4, 8, 16, 64, 0)  # 0 = unbounded
+CONCURRENCY = 16
+
+
+def _sweep():
+    rows = []
+    for window in WINDOWS:
+        commits = aborts = 0
+        for seed in range(10):
+            trace = generate_trace(
+                n_txns=150, ops_per_txn=12, locations=256, seed=seed
+            )
+            result = RococoCC(CONCURRENCY, window=window).run(trace)
+            commits += result.commits
+            aborts += result.aborts
+        rows.append(
+            [
+                "unbounded" if window == 0 else window,
+                aborts / (commits + aborts),
+            ]
+        )
+    return rows
+
+
+def test_ablation_window_size(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print_table(
+        ["window W", "abort rate"],
+        rows,
+        title=f"Window-size ablation (T={CONCURRENCY}, 12 ops/txn)",
+    )
+    rates = {r[0]: r[1] for r in rows}
+    # Tiny windows overflow constantly; W >= concurrency approaches the
+    # unbounded validator.
+    assert rates[2] > rates[64]
+    assert abs(rates[64] - rates["unbounded"]) < 0.02
+    # Monotone improvement (within noise) as W grows.
+    ordered = [rates[w] for w in (2, 4, 8, 16, 64)]
+    assert ordered[0] >= ordered[-1]

@@ -1,0 +1,50 @@
+"""Ablation — sliding-window size at the full-system level (§5.1).
+
+"The current implementation of ROCoCoTM supports serializability
+among 64 transactions in the sliding window on FPGA ... W = 64 is
+chosen as we spawn at most 28 threads."  The trace-level sweep
+(`bench_ablation_window.py`) isolates the algorithm; this one runs the
+whole ROCoCoTM stack on a STAMP application and shows where
+window-overflow aborts appear as W shrinks toward the thread count.
+"""
+
+from repro.bench import print_table
+from repro.runtime import RococoTMBackend, SequentialBackend
+from repro.stamp import VacationWorkload, run_stamp
+
+WINDOWS = (2, 4, 8, 16, 64)
+THREADS = 14
+
+
+def _sweep():
+    sequential = run_stamp(VacationWorkload, SequentialBackend(), 1, scale=0.5, seed=1)
+    rows = []
+    for window in WINDOWS:
+        backend = RococoTMBackend(window=window)
+        stats = run_stamp(VacationWorkload, backend, THREADS, scale=0.5, seed=1)
+        rows.append(
+            [
+                window,
+                sequential.makespan_ns / stats.makespan_ns,
+                stats.abort_rate,
+                stats.aborts_by_cause.get("fpga-window-overflow", 0),
+            ]
+        )
+    return rows
+
+
+def test_ablation_window_at_runtime(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print_table(
+        ["window W", "speedup", "abort rate", "overflow aborts"],
+        rows,
+        title=f"Runtime window ablation (vacation, {THREADS} threads)",
+    )
+    by = {r[0]: r for r in rows}
+    # Overflow aborts vanish once W comfortably exceeds the number of
+    # concurrently in-flight transactions.
+    assert by[64][3] == 0
+    assert by[2][3] > by[64][3]
+    # And the paper's W=64 configuration performs best (or ties).
+    best = max(r[1] for r in rows)
+    assert by[64][1] >= 0.85 * best

@@ -1,0 +1,95 @@
+"""Figure 11 — amortized per-transaction validation overhead (us).
+
+TinySTM's commit-time validation walks every timestamped object in the
+read set (O(r) on the CPU); ROCoCoTM's validation is a pipelined FPGA
+round trip whose cost is insensitive to the read-set size.  The paper
+shows ROCoCoTM staying under one microsecond everywhere, and TinySTM
+overtaking it on labyrinth (the huge-read-set application).
+"""
+
+from repro.bench import print_table, validation_overhead_rows
+from repro.stamp import (
+    GenomeWorkload,
+    IntruderWorkload,
+    KmeansWorkload,
+    LabyrinthWorkload,
+    VacationWorkload,
+)
+
+WORKLOADS = (
+    GenomeWorkload,
+    IntruderWorkload,
+    KmeansWorkload,
+    VacationWorkload,
+    LabyrinthWorkload,
+)
+
+
+def _rows():
+    return validation_overhead_rows(WORKLOADS, n_threads=14, scale=0.5, seed=1)
+
+
+def test_fig11_validation_overhead(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    table = [[r["workload"], r["TinySTM"], r["ROCoCoTM"]] for r in rows]
+    print_table(
+        ["workload", "TinySTM (us/txn)", "ROCoCoTM (us/txn)"],
+        table,
+        title="Figure 11: per-transaction validation overhead at 14 threads",
+    )
+
+    by_name = {r["workload"]: r for r in rows}
+    # ROCoCoTM stays below one microsecond for every application.
+    for name, row in by_name.items():
+        assert row["ROCoCoTM"] < 1.0, (name, row)
+    # ROCoCoTM's overhead is flat (insensitive to read-set size):
+    # largest/smallest within a small factor.
+    rococo = [r["ROCoCoTM"] for r in rows]
+    assert max(rococo) / min(rococo) < 3.0
+    # TinySTM's overhead varies with the read set; labyrinth (longest
+    # read paths) sits at the top, next to kmeans (whose hot
+    # accumulators force frequent snapshot-extension revalidation).
+    tiny = {r["workload"]: r["TinySTM"] for r in rows}
+    ranked = sorted(tiny, key=tiny.get, reverse=True)
+    assert "labyrinth" in ranked[:2], ranked
+    assert tiny["labyrinth"] > tiny["genome"]
+
+
+def test_fig11_scaling_mechanism(benchmark):
+    """The mechanism behind Fig. 11, isolated: growing the read set
+    (an 8x bigger labyrinth grid -> longer paths) inflates TinySTM's
+    per-transaction validation time while ROCoCoTM's stays flat.
+
+    Note (EXPERIMENTS.md): our labyrinth port uses STAMP's
+    early-release grid copy, so its absolute TinySTM validation time
+    stays below ROCoCoTM's constant ~0.65 us at these scaled inputs —
+    the paper's *absolute* crossover needs the original's much larger
+    footprints; the *scaling* contrast is what this test pins down.
+    """
+    from repro.runtime import RococoTMBackend, TinySTMBackend
+    from repro.stamp import run_stamp
+
+    def measure():
+        out = {}
+        for scale in (0.5, 4.0):
+            for backend_factory in (TinySTMBackend, RococoTMBackend):
+                stats = run_stamp(
+                    LabyrinthWorkload, backend_factory(), 8, scale=scale, seed=1
+                )
+                out[(stats.backend, scale)] = stats.mean_validation_us
+        return out
+
+    out = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        ["system", "scale 0.5 (us/txn)", "scale 4.0 (us/txn)"],
+        [
+            ["TinySTM", out[("TinySTM", 0.5)], out[("TinySTM", 4.0)]],
+            ["ROCoCoTM", out[("ROCoCoTM", 0.5)], out[("ROCoCoTM", 4.0)]],
+        ],
+        title="Fig. 11 mechanism: validation vs read-set size (labyrinth)",
+    )
+    tiny_growth = out[("TinySTM", 4.0)] / out[("TinySTM", 0.5)]
+    rococo_growth = out[("ROCoCoTM", 4.0)] / out[("ROCoCoTM", 0.5)]
+    assert tiny_growth > 1.4, "TinySTM validation should grow with the read set"
+    assert rococo_growth < tiny_growth, "ROCoCoTM should be less sensitive"
+    assert rococo_growth < 1.6

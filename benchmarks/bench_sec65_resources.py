@@ -1,0 +1,54 @@
+"""§6.5 — FPGA resource consumption and Fmax.
+
+Regenerates the reported synthesis point (W=64, m=512 at 200 MHz:
+113485 registers / 249442 ALMs / 223 DSPs / 2055802 BRAM bits) from
+the parametric model and the two stated trends: the 1024-bit filter
+still fits but at a lower clock, and BRAM stays tiny because it only
+holds the historical signatures.
+"""
+
+from repro.bench import print_table
+from repro.hw import estimate, paper_table
+
+
+def _sweep():
+    points = [paper_table()]
+    for bits in (256, 1024):
+        points.append(estimate(window=64, signature_bits=bits))
+    for window in (32, 128, 256):
+        points.append(estimate(window=window))
+    return points
+
+
+def test_sec65_resource_table(benchmark):
+    points = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            p.window,
+            p.signature_bits,
+            p.registers,
+            f"{p.register_pct:.1f}%",
+            p.alms,
+            f"{p.alm_pct:.2f}%",
+            p.dsps,
+            p.bram_bits,
+            f"{p.fmax_mhz:.0f} MHz",
+            "yes" if p.fits else "NO",
+        ]
+        for p in points
+    ]
+    print_table(
+        ["W", "m", "regs", "regs%", "ALMs", "ALM%", "DSPs", "BRAM bits", "Fmax", "fits"],
+        rows,
+        title="§6.5 resource model (first row = paper's synthesis point)",
+    )
+
+    anchor = points[0]
+    assert (anchor.registers, anchor.alms, anchor.dsps, anchor.bram_bits) == (
+        113_485,
+        249_442,
+        223,
+        2_055_802,
+    )
+    wide = [p for p in points if p.signature_bits == 1024][0]
+    assert wide.fits and wide.fmax_mhz < 200.0

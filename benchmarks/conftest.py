@@ -1,0 +1,20 @@
+"""Shared configuration for the figure/table benchmarks.
+
+Every ``bench_*`` module regenerates one figure or table from the
+paper: it prints the same rows/series the publication reports (so the
+shapes can be compared directly) and registers the run with
+pytest-benchmark for timing.  Scale factors keep a full
+``pytest benchmarks/ --benchmark-only`` run in the minutes range.
+"""
+
+import pytest
+
+
+def one_shot(benchmark, fn):
+    """Benchmark a heavy harness exactly once and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def run_once():
+    return one_shot

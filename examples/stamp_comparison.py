@@ -1,0 +1,63 @@
+"""Mini Figure 10: run STAMP applications across all TM systems.
+
+Runs a configurable subset of the STAMP ports on TinySTM, the TSX
+model, the global-lock baseline and ROCoCoTM over a thread sweep, and
+prints speedup/abort tables plus the geomean comparison — a scaled-
+down version of what `pytest benchmarks/bench_fig10_stamp.py` does in
+full.
+
+Run:  python examples/stamp_comparison.py [scale]
+"""
+
+import sys
+
+from repro.bench import print_table
+from repro.runtime import (
+    CoarseLockBackend,
+    RococoTMBackend,
+    SequentialBackend,
+    TinySTMBackend,
+    TsxBackend,
+    geomean,
+)
+from repro.stamp import KmeansWorkload, Ssca2Workload, VacationWorkload, run_stamp
+
+WORKLOADS = (KmeansWorkload, VacationWorkload, Ssca2Workload)
+BACKENDS = (CoarseLockBackend, TinySTMBackend, TsxBackend, RococoTMBackend)
+THREADS = (1, 4, 8, 14, 28)
+
+
+def main(scale: float = 0.35) -> None:
+    ratios = {nt: [] for nt in THREADS}
+    for workload_cls in WORKLOADS:
+        sequential = run_stamp(workload_cls, SequentialBackend(), 1, scale=scale)
+        rows = []
+        speeds = {}
+        for backend_cls in BACKENDS:
+            for n_threads in THREADS:
+                stats = run_stamp(workload_cls, backend_cls(), n_threads, scale=scale)
+                speedup = sequential.makespan_ns / stats.makespan_ns
+                speeds[(backend_cls.name, n_threads)] = speedup
+                rows.append(
+                    [backend_cls.name, n_threads, speedup, stats.abort_rate]
+                )
+        print_table(
+            ["system", "threads", "speedup", "abort rate"],
+            rows,
+            title=f"{workload_cls.name} (scale={scale}, speedup vs sequential)",
+        )
+        for nt in THREADS:
+            ratios[nt].append(
+                speeds[("ROCoCoTM", nt)] / speeds[("TinySTM", nt)]
+            )
+
+    print_table(
+        ["threads", "geomean ROCoCoTM/TinySTM"],
+        [[nt, geomean(ratios[nt])] for nt in THREADS],
+        title="The crossover: ROCoCoTM pays latency when idle-parallel, "
+        "wins when threads (and metadata pressure) grow",
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.35)

@@ -1,0 +1,50 @@
+"""ROCoCoTM — a complete functional reproduction of
+"FPGA-Accelerated Optimistic Concurrency Control for Transactional
+Memory" (Li et al., MICRO-52, 2019).
+
+Subpackages, bottom-up:
+
+* :mod:`repro.semantics` — axiom-based transactional semantics (§3):
+  relations, histories, serializability / strict serializability /
+  snapshot isolation / linearizability checkers, phantom orderings.
+* :mod:`repro.core` — the ROCoCo algorithm (§4): bit-parallel
+  incremental transitive closure, O(1) cycle detection, the W-slot
+  sliding-window validator.
+* :mod:`repro.cc` — trace-level CC algorithms (2PL, BOCC, FOCC, TOCC
+  variants, ROCoCo) for the §6.1 micro-benchmark.
+* :mod:`repro.signatures` — parallel bloom-filter signatures and their
+  false-positivity model (§5.2, Fig. 7).
+* :mod:`repro.hw` — the FPGA offload engine, functionally simulated:
+  detector, manager, pipeline timing, CCI link, resources (§4.2, §6.5).
+* :mod:`repro.runtime` — discrete-event multicore simulator and the
+  TM systems: ROCoCoTM (§5), TinySTM/LSA, TSX-style HTM, global lock,
+  sequential.
+* :mod:`repro.txlib` — transactional data structures.
+* :mod:`repro.stamp` — the seven evaluated STAMP applications.
+* :mod:`repro.bench` — harnesses regenerating every figure and table.
+
+Quickstart::
+
+    from repro.runtime import RococoTMBackend
+    from repro.stamp import run_stamp, VacationWorkload
+
+    stats = run_stamp(VacationWorkload, RococoTMBackend(), n_threads=8)
+    print(stats.summary())
+"""
+
+__version__ = "1.0.0"
+
+from . import bench, cc, core, hw, runtime, semantics, signatures, stamp, txlib
+
+__all__ = [
+    "__version__",
+    "bench",
+    "cc",
+    "core",
+    "hw",
+    "runtime",
+    "semantics",
+    "signatures",
+    "stamp",
+    "txlib",
+]

@@ -1,0 +1,48 @@
+"""Benchmark harnesses regenerating the paper's figures and tables.
+
+* :mod:`microbench <repro.bench.microbench>` — the §6.1 EigenBench-like
+  CC comparison (Fig. 9).
+* :mod:`stamp_matrix <repro.bench.stamp_matrix>` — the STAMP grid
+  (Fig. 10), geomean headlines (§6.3), validation overheads (Fig. 11).
+* :mod:`reporting <repro.bench.reporting>` — table rendering.
+
+The runnable entry points live in ``benchmarks/`` (pytest-benchmark).
+"""
+
+from .microbench import (
+    FIG9_ALGORITHMS,
+    FIG9_N_VALUES,
+    FIG9_THREADS,
+    MicroPoint,
+    figure9_sweep,
+    reduction_vs,
+    run_microbenchmark,
+)
+from .reporting import format_table, print_table, series_by
+from .stamp_matrix import (
+    FIG10_BACKENDS,
+    FIG10_THREADS,
+    Cell,
+    StampMatrix,
+    run_matrix,
+    validation_overhead_rows,
+)
+
+__all__ = [
+    "Cell",
+    "FIG10_BACKENDS",
+    "FIG10_THREADS",
+    "FIG9_ALGORITHMS",
+    "FIG9_N_VALUES",
+    "FIG9_THREADS",
+    "MicroPoint",
+    "StampMatrix",
+    "figure9_sweep",
+    "format_table",
+    "print_table",
+    "reduction_vs",
+    "run_matrix",
+    "run_microbenchmark",
+    "series_by",
+    "validation_overhead_rows",
+]

@@ -1,0 +1,49 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every ``bench_*`` target prints the rows/series the paper's figure or
+table reports, via these helpers, so ``pytest benchmarks/`` output is
+directly comparable to the publication.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """A fixed-width ASCII table."""
+    text_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if 0 < abs(value) < 0.005:
+            return f"{value:.2e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def print_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> None:
+    print()
+    print(format_table(headers, rows, title))
+
+
+def series_by(points, key_fields: Sequence[str], value_field: str) -> Dict:
+    """Group a list of dataclass points into {key_tuple: [values]}."""
+    out: Dict = {}
+    for p in points:
+        key = tuple(getattr(p, f) for f in key_fields)
+        out.setdefault(key, []).append(getattr(p, value_field))
+    return out

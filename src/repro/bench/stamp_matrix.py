@@ -1,0 +1,135 @@
+"""The Fig. 10 / Fig. 11 harness: the STAMP x backend x threads grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from ..runtime import (
+    RococoTMBackend,
+    RunStats,
+    SequentialBackend,
+    TinySTMBackend,
+    TsxBackend,
+    geomean,
+)
+from ..stamp import ALL_WORKLOADS, StampWorkload, run_stamp
+
+FIG10_THREADS = (1, 4, 8, 14, 28)
+FIG10_BACKENDS: Tuple[Callable[[], object], ...] = (
+    TinySTMBackend,
+    TsxBackend,
+    RococoTMBackend,
+)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One (workload, backend, threads) measurement."""
+
+    workload: str
+    backend: str
+    n_threads: int
+    speedup: float
+    abort_rate: float
+    fpga_abort_rate: float
+    mean_validation_us: float
+    commits: int
+    aborts: int
+
+
+@dataclass
+class StampMatrix:
+    cells: List[Cell] = field(default_factory=list)
+
+    def get(self, workload: str, backend: str, n_threads: int) -> Cell:
+        for cell in self.cells:
+            if (cell.workload, cell.backend, cell.n_threads) == (
+                workload,
+                backend,
+                n_threads,
+            ):
+                return cell
+        raise KeyError((workload, backend, n_threads))
+
+    def workloads(self) -> List[str]:
+        return sorted({c.workload for c in self.cells})
+
+    def geomean_speedup(self, backend: str, n_threads: int) -> float:
+        return geomean(
+            c.speedup
+            for c in self.cells
+            if c.backend == backend and c.n_threads == n_threads
+        )
+
+    def geomean_ratio(self, numerator: str, denominator: str, n_threads: int) -> float:
+        """Geomean per-workload speedup ratio (the §6.3 headline)."""
+        return geomean(
+            self.get(w, numerator, n_threads).speedup
+            / self.get(w, denominator, n_threads).speedup
+            for w in self.workloads()
+        )
+
+
+def run_matrix(
+    workloads: Sequence[Type[StampWorkload]] = ALL_WORKLOADS,
+    backends: Sequence[Callable[[], object]] = FIG10_BACKENDS,
+    threads: Sequence[int] = FIG10_THREADS,
+    scale: float = 0.5,
+    seed: int = 1,
+    verify: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> StampMatrix:
+    """Run the full grid; speedups are vs the sequential baseline."""
+    matrix = StampMatrix()
+    for workload_cls in workloads:
+        sequential = run_stamp(
+            workload_cls, SequentialBackend(), 1, scale=scale, seed=seed, verify=verify
+        )
+        for backend_factory in backends:
+            for n_threads in threads:
+                stats = run_stamp(
+                    workload_cls,
+                    backend_factory(),
+                    n_threads,
+                    scale=scale,
+                    seed=seed,
+                    verify=verify,
+                )
+                cell = Cell(
+                    workload=stats.workload,
+                    backend=stats.backend,
+                    n_threads=n_threads,
+                    speedup=sequential.makespan_ns / stats.makespan_ns,
+                    abort_rate=stats.abort_rate,
+                    fpga_abort_rate=stats.fpga_abort_rate,
+                    mean_validation_us=stats.mean_validation_us,
+                    commits=stats.commits,
+                    aborts=stats.aborts,
+                )
+                matrix.cells.append(cell)
+                if progress is not None:
+                    progress(
+                        f"{cell.workload}/{cell.backend}@{n_threads}t "
+                        f"speedup={cell.speedup:.2f} abort={cell.abort_rate:.0%}"
+                    )
+    return matrix
+
+
+def validation_overhead_rows(
+    workloads: Sequence[Type[StampWorkload]],
+    n_threads: int = 14,
+    scale: float = 0.5,
+    seed: int = 1,
+) -> List[Dict]:
+    """Fig. 11: amortized per-transaction validation time (us)."""
+    rows = []
+    for workload_cls in workloads:
+        row = {"workload": workload_cls.name}
+        for backend_factory in (TinySTMBackend, RococoTMBackend):
+            stats = run_stamp(
+                workload_cls, backend_factory(), n_threads, scale=scale, seed=seed
+            )
+            row[stats.backend] = stats.mean_validation_us
+        rows.append(row)
+    return rows

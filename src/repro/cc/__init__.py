@@ -1,0 +1,75 @@
+"""Trace-level concurrency control algorithms (paper §2.2-2.3, §6.1).
+
+These classes replay the EigenBench-like micro-benchmark traces of
+section 6.1 under a shared timed-concurrency model and report abort
+rates — the Fig. 9 comparison.  The contenders:
+
+* :class:`TwoPhaseLocking` — pessimistic, abort-on-lock-conflict.
+* :class:`BackwardOCC` / :class:`ForwardOCC` — classic broadcast OCC.
+* :class:`ToccStartTime` / :class:`ToccCommitTime` — timestamped OCC
+  with eager (Fig. 2a) and lazy/LSA (Fig. 2b) timestamp acquisition.
+* :class:`KahnCC` — online Kahn topological sorting (§4.1's
+  "equivalent to TOCC" observation, made executable).
+* :class:`RococoCC` — the paper's reachability-based validator.
+"""
+
+from .bocc import BackwardOCC
+from .engine import (
+    INITIAL,
+    CommittedTxn,
+    TimedRead,
+    TimedWrite,
+    TraceCC,
+    TraceResult,
+    TxnView,
+    VersionStore,
+)
+from .focc import ForwardOCC
+from .kahn import KahnCC
+from .rococo_cc import RococoCC
+from .tocc import ToccCommitTime, ToccStartTime
+from .trace import (
+    DEFAULT_LOCATIONS,
+    Op,
+    OpKind,
+    Trace,
+    TxnTrace,
+    collision_probability,
+    generate_trace,
+)
+from .two_phase_locking import TwoPhaseLocking
+
+ALL_ALGORITHMS = (
+    TwoPhaseLocking,
+    BackwardOCC,
+    ForwardOCC,
+    ToccStartTime,
+    ToccCommitTime,
+    RococoCC,
+)
+
+__all__ = [
+    "ALL_ALGORITHMS",
+    "BackwardOCC",
+    "CommittedTxn",
+    "DEFAULT_LOCATIONS",
+    "ForwardOCC",
+    "INITIAL",
+    "KahnCC",
+    "Op",
+    "OpKind",
+    "RococoCC",
+    "TimedRead",
+    "TimedWrite",
+    "ToccCommitTime",
+    "ToccStartTime",
+    "Trace",
+    "TraceCC",
+    "TraceResult",
+    "TwoPhaseLocking",
+    "TxnTrace",
+    "TxnView",
+    "VersionStore",
+    "collision_probability",
+    "generate_trace",
+]

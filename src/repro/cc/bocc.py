@@ -1,0 +1,29 @@
+"""Backward OCC (Härder 1984; §2.3's broadcast-based centralization).
+
+BOCC validates a committing transaction *backwards*: its read set is
+intersected with the write sets of every transaction that committed
+during its execution.  Any overlap aborts — including the benign case
+where the read in fact happened *after* the writer's commit and saw
+the fresh value, which TOCC's version check forgives.  The comparison
+is set-based because BOCC was designed for broadcast systems where
+only footprints, not versions, travel.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .engine import CommittedTxn, TraceCC, TxnView
+
+
+class BackwardOCC(TraceCC):
+    name = "BOCC"
+
+    def validate(self, view: TxnView, committed: Sequence[CommittedTxn]) -> bool:
+        read_set = view.read_set
+        if not read_set:
+            return True
+        for prior in self.overlapping(view, committed):
+            if read_set & prior.view.write_set:
+                return False
+        return True

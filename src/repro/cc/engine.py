@@ -1,0 +1,217 @@
+"""The shared execution model for trace-level CC algorithms.
+
+Every algorithm processes transactions in arrival order under the
+timed concurrency model of :mod:`repro.cc.trace`:
+
+* transaction *i* starts at time ``i`` and would commit at ``i + T``;
+* operation *j* of transaction *i* executes at
+  ``i + (j + 1) / (n_ops + 1) * T``;
+* a read observes the newest version committed at or before its own
+  time (versions exist only for transactions the algorithm committed);
+* at the commit point the algorithm validates and either installs the
+  transaction's writes (stamped with the commit time) or aborts it.
+
+Aborted transactions vanish without retry — the paper's §6.1 metric is
+the abort *rate* over the fixed population, not throughput.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .trace import Op, OpKind, Trace, TxnTrace
+
+#: Writer id for a location's initial version.
+INITIAL = -1
+
+
+@dataclass(frozen=True)
+class TimedRead:
+    addr: int
+    time: float
+    #: transaction id whose committed write was observed (INITIAL if none).
+    version: int
+    #: commit time of that version (-inf stand-in 0.0 for INITIAL).
+    version_time: float
+
+
+@dataclass(frozen=True)
+class TimedWrite:
+    addr: int
+    time: float
+
+
+@dataclass(frozen=True)
+class TxnView:
+    """Everything a validator may inspect about one transaction."""
+
+    txn: int
+    start: float
+    commit_time: float
+    reads: Tuple[TimedRead, ...]
+    writes: Tuple[TimedWrite, ...]
+
+    @property
+    def read_set(self) -> frozenset:
+        return frozenset(r.addr for r in self.reads)
+
+    @property
+    def write_set(self) -> frozenset:
+        return frozenset(w.addr for w in self.writes)
+
+    @property
+    def is_read_only(self) -> bool:
+        return not self.writes
+
+
+@dataclass
+class CommittedTxn:
+    """Footprint of a committed transaction, for later validations."""
+
+    view: TxnView
+    commit_index: int
+
+
+@dataclass
+class TraceResult:
+    """Outcome of running one algorithm over one trace."""
+
+    algorithm: str
+    concurrency: int
+    decisions: List[bool]
+    total: int = 0
+    commits: int = 0
+    aborts: int = 0
+
+    def __post_init__(self):
+        self.total = len(self.decisions)
+        self.commits = sum(self.decisions)
+        self.aborts = self.total - self.commits
+
+    @property
+    def abort_rate(self) -> float:
+        return self.aborts / self.total if self.total else 0.0
+
+
+class VersionStore:
+    """Per-location committed version lists, ordered by commit time."""
+
+    def __init__(self) -> None:
+        self._versions: Dict[int, List[Tuple[float, int]]] = {}
+
+    def observe(self, addr: int, time: float) -> Tuple[int, float]:
+        """(writer, commit_time) of the newest version at *time*."""
+        versions = self._versions.get(addr)
+        if not versions:
+            return INITIAL, 0.0
+        idx = bisect.bisect_right(versions, (time, float("inf"))) - 1
+        if idx < 0:
+            return INITIAL, 0.0
+        commit_time, writer = versions[idx]
+        return writer, commit_time
+
+    def install(self, addr: int, commit_time: float, writer: int) -> None:
+        self._versions.setdefault(addr, []).append((commit_time, writer))
+
+    def current(self, addr: int) -> Tuple[int, float]:
+        versions = self._versions.get(addr)
+        if not versions:
+            return INITIAL, 0.0
+        commit_time, writer = versions[-1]
+        return writer, commit_time
+
+
+class TraceCC:
+    """Template for trace-level CC algorithms.
+
+    Subclasses implement :meth:`validate`; optional hooks observe
+    commits (for forward validation and bookkeeping).
+    """
+
+    name = "abstract"
+
+    def __init__(self, concurrency: int, read_placement: str = "start"):
+        """``read_placement`` selects when reads observe memory:
+
+        * ``"start"`` — all reads observe the snapshot at transaction
+          start, the paper's §6.1 model ("tentative updates of the last
+          T transactions ... are not visible");
+        * ``"spread"`` — reads are interleaved through the execution
+          interval like writes, so a read may observe a concurrent
+          commit.  Required to distinguish start-time from commit-time
+          timestamp acquisition (Fig. 2(a)).
+        """
+        if concurrency < 1:
+            raise ValueError("concurrency must be at least 1")
+        if read_placement not in ("start", "spread"):
+            raise ValueError(f"unknown read placement {read_placement!r}")
+        self.concurrency = concurrency
+        self.read_placement = read_placement
+
+    # -- subclass interface --------------------------------------------
+    def validate(self, view: TxnView, committed: Sequence[CommittedTxn]) -> bool:
+        raise NotImplementedError
+
+    def on_commit(self, view: TxnView) -> None:
+        """Called after a transaction commits (default: nothing)."""
+
+    def doomed(self, view: TxnView) -> bool:
+        """Pre-validation kill switch (used by forward validation)."""
+        return False
+
+    # -- driver ---------------------------------------------------------
+    def run(self, trace: Trace) -> TraceResult:
+        store = VersionStore()
+        committed: List[CommittedTxn] = []
+        decisions: List[bool] = []
+        for txn_trace in trace:
+            view = self._materialize(txn_trace, store)
+            ok = not self.doomed(view) and self.validate(view, committed)
+            decisions.append(ok)
+            if ok:
+                for write in view.writes:
+                    store.install(write.addr, view.commit_time, view.txn)
+                committed.append(CommittedTxn(view, len(committed)))
+                self.on_commit(view)
+        return TraceResult(self.name, self.concurrency, decisions)
+
+    def _materialize(self, txn_trace: TxnTrace, store: VersionStore) -> TxnView:
+        start = float(txn_trace.txn)
+        duration = float(self.concurrency)
+        n_ops = len(txn_trace.ops)
+        reads: List[TimedRead] = []
+        writes: List[TimedWrite] = []
+        for j, op in enumerate(txn_trace.ops):
+            at = start + (j + 1) / (n_ops + 1) * duration
+            if op.kind is OpKind.READ:
+                if self.read_placement == "start":
+                    at = start
+                writer, version_time = store.observe(op.addr, at)
+                reads.append(TimedRead(op.addr, at, writer, version_time))
+            else:
+                writes.append(TimedWrite(op.addr, at))
+        return TxnView(
+            txn=txn_trace.txn,
+            start=start,
+            commit_time=start + duration,
+            reads=tuple(reads),
+            writes=tuple(writes),
+        )
+
+    # -- helpers shared by subclasses ------------------------------------
+    @staticmethod
+    def overlapping(view: TxnView, committed: Sequence[CommittedTxn]):
+        """Committed transactions whose interval overlaps *view*'s.
+
+        Commit times are monotone in commit order, so the overlap set
+        is a suffix of *committed*; we walk backwards and stop at the
+        first non-overlapping transaction.
+        """
+        suffix = []
+        for prior in reversed(committed):
+            if prior.view.commit_time <= view.start:
+                break
+            suffix.append(prior)
+        return reversed(suffix)

@@ -1,0 +1,105 @@
+"""The EigenBench-like micro-benchmark of section 6.1.
+
+The paper isolates concurrency control from the rest of the TM stack
+with memory traces from a synthetic benchmark: an array of 1024
+locations, transactions of N accesses (50% read / 50% write) drawn
+uniformly at random, and a concurrency parameter T — "the tentative
+updates of the last T transactions, no matter they commit or not, are
+not visible to current transactions".
+
+We realize that model with explicit time: transaction *i* occupies the
+interval ``[i, i + T)``; its operations are spread uniformly inside
+the interval, and its commit point is the interval's end.  Then the
+T - 1 preceding transactions are exactly the ones whose updates may be
+invisible, and a read observes the newest version committed before the
+read's own timestamp — which also lets us distinguish "read the stale
+version" from "read the fresh version", the distinction BOCC misses
+and TOCC needs.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+DEFAULT_LOCATIONS = 1024
+
+
+class OpKind(enum.Enum):
+    READ = "R"
+    WRITE = "W"
+
+
+@dataclass(frozen=True)
+class Op:
+    kind: OpKind
+    addr: int
+
+
+@dataclass(frozen=True)
+class TxnTrace:
+    """One transaction's operation list (program order)."""
+
+    txn: int
+    ops: Tuple[Op, ...]
+
+    @property
+    def read_set(self) -> frozenset:
+        return frozenset(op.addr for op in self.ops if op.kind is OpKind.READ)
+
+    @property
+    def write_set(self) -> frozenset:
+        return frozenset(op.addr for op in self.ops if op.kind is OpKind.WRITE)
+
+    @property
+    def is_read_only(self) -> bool:
+        return not self.write_set
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A whole micro-benchmark run: transactions in arrival order."""
+
+    transactions: Tuple[TxnTrace, ...]
+    locations: int
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def __iter__(self) -> Iterator[TxnTrace]:
+        return iter(self.transactions)
+
+
+def generate_trace(
+    n_txns: int,
+    ops_per_txn: int,
+    locations: int = DEFAULT_LOCATIONS,
+    read_fraction: float = 0.5,
+    seed: int = 0,
+) -> Trace:
+    """Random trace with the paper's parameters.
+
+    Each transaction accesses ``ops_per_txn`` *distinct* locations
+    (the paper's "accesses N memory locations"), each independently a
+    read with probability ``read_fraction``.
+    """
+    if ops_per_txn > locations:
+        raise ValueError("cannot draw more distinct locations than exist")
+    rng = random.Random(seed)
+    txns = []
+    for txn in range(n_txns):
+        addrs = rng.sample(range(locations), ops_per_txn)
+        ops = tuple(
+            Op(OpKind.READ if rng.random() < read_fraction else OpKind.WRITE, addr)
+            for addr in addrs
+        )
+        txns.append(TxnTrace(txn, ops))
+    return Trace(tuple(txns), locations)
+
+
+def collision_probability(ops_per_txn: int, locations: int = DEFAULT_LOCATIONS) -> float:
+    """The paper's closed form: P(at least one shared location between
+    two transactions) = 1 - (1 - N/L)^N."""
+    return 1.0 - (1.0 - ops_per_txn / locations) ** ops_per_txn

@@ -1,0 +1,253 @@
+"""Command-line interface: regenerate paper figures from the shell.
+
+Examples::
+
+    python -m repro list
+    python -m repro fig7
+    python -m repro fig9 --threads 16 --seeds 10
+    python -m repro fig10 --scale 0.35 --workloads kmeans vacation
+    python -m repro fig11
+    python -m repro resources --window 128 --bits 1024
+    python -m repro stamp vacation ROCoCoTM --threads 14
+
+Each subcommand prints the rows/series of the corresponding figure or
+table; see ``benchmarks/`` for the asserted pytest-benchmark variants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import (
+    FIG10_THREADS,
+    figure9_sweep,
+    print_table,
+    run_matrix,
+    validation_overhead_rows,
+)
+from .runtime import (
+    CoarseLockBackend,
+    RococoTMBackend,
+    SequentialBackend,
+    SnapshotIsolationBackend,
+    TinySTMBackend,
+    TsxBackend,
+)
+from .stamp import ALL_WORKLOADS, CONTENTION_VARIANTS, EXTRA_WORKLOADS, run_stamp
+
+BACKENDS = {
+    "sequential": SequentialBackend,
+    "global-lock": CoarseLockBackend,
+    "TinySTM": TinySTMBackend,
+    "TSX": TsxBackend,
+    "ROCoCoTM": RococoTMBackend,
+    "SI-MVCC": SnapshotIsolationBackend,
+}
+WORKLOADS = {w.name: w for w in ALL_WORKLOADS + CONTENTION_VARIANTS + EXTRA_WORKLOADS}
+
+
+def _cmd_list(_args) -> int:
+    print_table(
+        ["workload", "transaction profile"],
+        [[w.name, w.profile] for w in ALL_WORKLOADS + CONTENTION_VARIANTS + EXTRA_WORKLOADS],
+        title="STAMP applications (+ contention variants)",
+    )
+    print_table(
+        ["backend", "description"],
+        [
+            ["sequential", "uninstrumented single-thread baseline"],
+            ["global-lock", "one mutex around every atomic block"],
+            ["TinySTM", "LSA STM, commit-time locking, write-back"],
+            ["TSX", "best-effort HTM, requester-wins + lock fallback"],
+            ["ROCoCoTM", "the paper's hybrid CPU+FPGA system"],
+            ["SI-MVCC", "multi-version snapshot isolation (anomalies!)"],
+        ],
+        title="TM systems",
+    )
+    return 0
+
+
+def _cmd_fig7(_args) -> int:
+    from .signatures import intersection_false_positive, query_false_positive
+
+    rows = []
+    for bits, k in ((256, 4), (512, 4), (512, 8), (1024, 8)):
+        for n in (1, 2, 4, 8, 16, 32):
+            rows.append(
+                [
+                    f"m={bits},k={k}",
+                    n,
+                    query_false_positive(n, bits, k),
+                    intersection_false_positive(n, n, bits, k),
+                ]
+            )
+    print_table(
+        ["config", "n", "P(query FP)", "P(intersect FP)"],
+        rows,
+        title="Figure 7: bloom-filter false positivity (analytic model)",
+    )
+    return 0
+
+
+def _cmd_fig9(args) -> int:
+    points = figure9_sweep(
+        threads=(args.threads,), seeds=args.seeds, n_txns=args.txns
+    )
+    by_n = {}
+    for p in points:
+        by_n.setdefault(p.ops_per_txn, {"collision": p.collision_rate})[
+            p.algorithm
+        ] = p.abort_rate
+    print_table(
+        ["N", "collision", "2PL", "TOCC", "ROCoCo"],
+        [
+            [n, c["collision"], c["2PL"], c["TOCC"], c["ROCoCo"]]
+            for n, c in sorted(by_n.items())
+        ],
+        title=f"Figure 9 (T={args.threads}): abort rate vs collision rate",
+    )
+    return 0
+
+
+def _cmd_fig10(args) -> int:
+    workloads = [WORKLOADS[name] for name in args.workloads] if args.workloads else ALL_WORKLOADS
+    matrix = run_matrix(
+        workloads=workloads,
+        threads=tuple(args.threads),
+        scale=args.scale,
+        seed=args.seed,
+        progress=(lambda msg: print("  " + msg, file=sys.stderr)) if args.verbose else None,
+    )
+    for name in matrix.workloads():
+        rows = [
+            [
+                backend,
+                nt,
+                matrix.get(name, backend, nt).speedup,
+                matrix.get(name, backend, nt).abort_rate,
+            ]
+            for backend in ("TinySTM", "TSX", "ROCoCoTM")
+            for nt in args.threads
+        ]
+        print_table(
+            ["system", "threads", "speedup", "abort rate"],
+            rows,
+            title=f"Figure 10 - {name}",
+        )
+    geo_rows = [
+        [
+            nt,
+            matrix.geomean_ratio("ROCoCoTM", "TinySTM", nt),
+            matrix.geomean_ratio("ROCoCoTM", "TSX", nt),
+        ]
+        for nt in args.threads
+    ]
+    print_table(
+        ["threads", "ROCoCoTM/TinySTM", "ROCoCoTM/TSX"],
+        geo_rows,
+        title="Geomean speedup ratios (paper @28t: 1.55 / 8.05)",
+    )
+    return 0
+
+
+def _cmd_fig11(args) -> int:
+    workloads = [WORKLOADS[name] for name in args.workloads] if args.workloads else ALL_WORKLOADS
+    rows = validation_overhead_rows(workloads, n_threads=args.threads, scale=args.scale)
+    print_table(
+        ["workload", "TinySTM us/txn", "ROCoCoTM us/txn"],
+        [[r["workload"], r["TinySTM"], r["ROCoCoTM"]] for r in rows],
+        title=f"Figure 11: per-transaction validation overhead ({args.threads} threads)",
+    )
+    return 0
+
+
+def _cmd_resources(args) -> int:
+    from .hw import estimate
+
+    est = estimate(window=args.window, signature_bits=args.bits, partitions=args.partitions)
+    print_table(
+        ["resource", "used", "utilization"],
+        [
+            ["registers", est.registers, f"{est.register_pct:.1f}%"],
+            ["ALMs", est.alms, f"{est.alm_pct:.2f}%"],
+            ["DSPs", est.dsps, f"{est.dsp_pct:.1f}%"],
+            ["BRAM bits", est.bram_bits, f"{est.bram_pct:.1f}%"],
+            ["Fmax", f"{est.fmax_mhz:.0f} MHz", "fits" if est.fits else "DOES NOT FIT"],
+        ],
+        title=f"FPGA resources (W={args.window}, m={args.bits}, k={args.partitions})",
+    )
+    return 0
+
+
+def _cmd_stamp(args) -> int:
+    workload_cls = WORKLOADS[args.workload]
+    backend = BACKENDS[args.backend]()
+    n_threads = 1 if args.backend == "sequential" else args.threads
+    stats = run_stamp(
+        workload_cls, backend, n_threads, scale=args.scale, seed=args.seed
+    )
+    print(stats.summary())
+    if stats.validations:
+        print(f"mean validation: {stats.mean_validation_us:.3f} us/txn")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ROCoCoTM reproduction harness"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="available workloads and backends").set_defaults(
+        func=_cmd_list
+    )
+    sub.add_parser("fig7", help="bloom-filter false positivity").set_defaults(
+        func=_cmd_fig7
+    )
+
+    p9 = sub.add_parser("fig9", help="CC abort rates vs collision rate")
+    p9.add_argument("--threads", type=int, default=16, choices=(4, 16))
+    p9.add_argument("--seeds", type=int, default=20)
+    p9.add_argument("--txns", type=int, default=120)
+    p9.set_defaults(func=_cmd_fig9)
+
+    p10 = sub.add_parser("fig10", help="STAMP speedups and abort rates")
+    p10.add_argument("--scale", type=float, default=0.5)
+    p10.add_argument("--seed", type=int, default=1)
+    p10.add_argument("--threads", type=int, nargs="+", default=list(FIG10_THREADS))
+    p10.add_argument("--workloads", nargs="+", choices=sorted(WORKLOADS))
+    p10.add_argument("--verbose", action="store_true")
+    p10.set_defaults(func=_cmd_fig10)
+
+    p11 = sub.add_parser("fig11", help="per-transaction validation overhead")
+    p11.add_argument("--threads", type=int, default=14)
+    p11.add_argument("--scale", type=float, default=0.5)
+    p11.add_argument("--workloads", nargs="+", choices=sorted(WORKLOADS))
+    p11.set_defaults(func=_cmd_fig11)
+
+    pr = sub.add_parser("resources", help="FPGA resource/Fmax model")
+    pr.add_argument("--window", type=int, default=64)
+    pr.add_argument("--bits", type=int, default=512)
+    pr.add_argument("--partitions", type=int, default=4)
+    pr.set_defaults(func=_cmd_resources)
+
+    ps = sub.add_parser("stamp", help="run one workload on one backend")
+    ps.add_argument("workload", choices=sorted(WORKLOADS))
+    ps.add_argument("backend", choices=sorted(BACKENDS))
+    ps.add_argument("--threads", type=int, default=8)
+    ps.add_argument("--scale", type=float, default=0.5)
+    ps.add_argument("--seed", type=int, default=1)
+    ps.set_defaults(func=_cmd_stamp)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

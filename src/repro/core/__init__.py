@@ -1,0 +1,38 @@
+"""The ROCoCo algorithm (paper section 4) — the primary contribution.
+
+Layers, bottom-up:
+
+* :class:`BitVec` / :class:`BitMatrix` — the bit-parallel datapath
+  (Python big-ints standing in for the FPGA's wide registers).
+* :class:`ReachabilityClosure` — incremental transitive closure with
+  O(1)-depth cycle detection (Warshall's fact + its dual, Fig. 4).
+* :class:`RococoValidator` — footprint-level OCC validation over an
+  unbounded committed set (used by the Fig. 9 experiments).
+* :class:`SlidingWindowValidator` — the bounded W-slot variant the
+  FPGA implements (Fig. 5), with window-overflow aborts.
+* :class:`BatchRococoValidator` — the §7 future-work extension: a
+  non-greedy validator with a global view over each batch.
+"""
+
+from .batch import BatchOutcome, BatchRococoValidator
+from .bitmatrix import BitMatrix
+from .bitvec import BitVec
+from .reachability import ReachabilityClosure, ValidationResult
+from .rococo import Decision, Footprint, RococoValidator, tocc_would_abort
+from .window import DEFAULT_WINDOW, SlidingWindowValidator, WindowMatrix
+
+__all__ = [
+    "BatchOutcome",
+    "BatchRococoValidator",
+    "BitMatrix",
+    "BitVec",
+    "DEFAULT_WINDOW",
+    "Decision",
+    "Footprint",
+    "ReachabilityClosure",
+    "RococoValidator",
+    "SlidingWindowValidator",
+    "WindowMatrix",
+    "ValidationResult",
+    "tocc_would_abort",
+]

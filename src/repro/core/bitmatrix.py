@@ -1,0 +1,151 @@
+"""Square bit matrices stored as per-row big integers.
+
+The reachability matrix R of the ROCoCo manager (section 4.1, Fig. 4)
+is a square boolean matrix.  The hardware keeps it in 2D registers so
+that a whole row, a whole column, or the whole matrix can be read and
+rewritten in one cycle.  We store one Python int per row; row
+operations are single big-int operations and column operations gather
+one bit per row — the transposition cost the paper says makes the
+algorithm impractical on CPUs, and which we also expose explicitly via
+:meth:`column` so the distinction survives in the model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .bitvec import BitVec
+
+
+class BitMatrix:
+    """An n x n bit matrix; entry (i, j) is row i, bit j."""
+
+    __slots__ = ("size", "rows")
+
+    def __init__(self, size: int, rows: Iterable[int] = ()):
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self.size = size
+        row_list = list(rows)
+        if row_list and len(row_list) != size:
+            raise ValueError(f"expected {size} rows, got {len(row_list)}")
+        mask = BitVec.mask(size)
+        self.rows: List[int] = [r & mask for r in row_list] or [0] * size
+
+    @classmethod
+    def identity(cls, size: int) -> "BitMatrix":
+        return cls(size, (1 << i for i in range(size)))
+
+    def copy(self) -> "BitMatrix":
+        return BitMatrix(self.size, self.rows)
+
+    # ------------------------------------------------------------------
+    # Element / row / column access
+    # ------------------------------------------------------------------
+    def get(self, i: int, j: int) -> bool:
+        self._check(i)
+        self._check(j)
+        return bool(self.rows[i] >> j & 1)
+
+    def set(self, i: int, j: int, value: bool = True) -> None:
+        self._check(i)
+        self._check(j)
+        if value:
+            self.rows[i] |= 1 << j
+        else:
+            self.rows[i] &= ~(1 << j)
+
+    def row(self, i: int) -> BitVec:
+        self._check(i)
+        return BitVec(self.size, self.rows[i])
+
+    def column(self, j: int) -> BitVec:
+        """Gather column *j*.
+
+        On the FPGA's 2D registers this is free; on a RAM-based CPU it
+        costs a pass over all rows — the transposition penalty cited in
+        section 4.2.
+        """
+        self._check(j)
+        bits = 0
+        for i, row in enumerate(self.rows):
+            bits |= (row >> j & 1) << i
+        return BitVec(self.size, bits)
+
+    def set_row(self, i: int, vec: BitVec) -> None:
+        self._check(i)
+        self._match(vec)
+        self.rows[i] = vec.bits
+
+    def set_column(self, j: int, vec: BitVec) -> None:
+        self._check(j)
+        self._match(vec)
+        for i in range(self.size):
+            if vec.bits >> i & 1:
+                self.rows[i] |= 1 << j
+            else:
+                self.rows[i] &= ~(1 << j)
+
+    def _check(self, i: int) -> None:
+        if not 0 <= i < self.size:
+            raise IndexError(f"index {i} out of range for size {self.size}")
+
+    def _match(self, vec: BitVec) -> None:
+        if vec.width != self.size:
+            raise ValueError(f"vector width {vec.width} != matrix size {self.size}")
+
+    # ------------------------------------------------------------------
+    # Matrix-vector products over boolean algebra (OR of ANDs)
+    # ------------------------------------------------------------------
+    def mv(self, vec: BitVec) -> BitVec:
+        """Boolean matrix-vector product: out[i] = OR_j (R[i][j] & v[j]).
+
+        This is the ``R_k x b`` term of the succeeding-vector equation
+        in section 4.1.  Each output bit is one wide-AND + wide-OR —
+        one LUT level in hardware.
+        """
+        self._match(vec)
+        bits = 0
+        for i, row in enumerate(self.rows):
+            if row & vec.bits:
+                bits |= 1 << i
+        return BitVec(self.size, bits)
+
+    def mv_transposed(self, vec: BitVec) -> BitVec:
+        """Product with the transpose: out[j] = OR_i (R[i][j] & v[i]).
+
+        The ``R_k^T x f`` term of the proceeding-vector equation.
+        Computed without materializing the transpose by scattering each
+        selected row, mirroring the column-wise wiring of the 2D
+        registers.
+        """
+        self._match(vec)
+        bits = 0
+        remaining = vec.bits
+        i = 0
+        while remaining:
+            if remaining & 1:
+                bits |= self.rows[i]
+            remaining >>= 1
+            i += 1
+        return BitVec(self.size, bits)
+
+    def transpose(self) -> "BitMatrix":
+        out = BitMatrix(self.size)
+        for i in range(self.size):
+            out.set_column(i, self.row(i))
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitMatrix):
+            return NotImplemented
+        return self.size == other.size and self.rows == other.rows
+
+    def __hash__(self):  # pragma: no cover - mutable
+        raise TypeError("BitMatrix is unhashable (mutable)")
+
+    def __repr__(self) -> str:
+        lines = []
+        for i in range(self.size):
+            lines.append("".join("1" if self.get(i, j) else "0" for j in range(self.size)))
+        return f"BitMatrix({self.size}, [{', '.join(lines)}])"

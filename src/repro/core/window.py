@@ -1,0 +1,230 @@
+"""The sliding-window ROCoCo validator (section 4.2, Fig. 5).
+
+Hardware cannot hold an unbounded reachability matrix, so the FPGA
+keeps bookkeeping for only the W most recent committed (writing)
+transactions.  Two consequences, both modelled here:
+
+* **Window overflow** — when ``t_{k+1}`` commits, the bookkeeping for
+  ``t_{k-W}`` is discarded; any transaction that *neglects the updates*
+  of an evicted transaction (its snapshot predates the window) must
+  abort, because its forward edges to the evicted region can no longer
+  be tracked.
+* **Settled history** — the closure may record that a still-resident
+  transaction ``w`` *reaches* the transaction being evicted (``w``
+  committed later but serializes earlier).  After eviction that path is
+  unrepresentable, so ``w`` carries a sticky *taint* bit meaning
+  "reaches settled history".  A candidate whose proceeding vector hits
+  a tainted slot is conservatively aborted: settled history is pinned
+  before all future transactions in the serialization witness, so
+  reaching it would close a potential cycle we can no longer check.
+  (With W = 64 and 28 threads such chains are rare; the paper's
+  evaluation never observed related livelock.)
+
+The window variant therefore commits a subset of what the unbounded
+validator of :mod:`repro.core.rococo` commits on the same stream — a
+property the test-suite checks.
+
+:class:`WindowMatrix` is the bare matrix datapath (what the FPGA's 2D
+registers + taint register implement); :class:`SlidingWindowValidator`
+layers exact-footprint edge extraction on top for algorithm-level use.
+The hardware model in :mod:`repro.hw` layers *signature-based* edge
+extraction on the same matrix instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, List, Optional, Tuple
+
+from .rococo import Address, Decision, Footprint
+
+DEFAULT_WINDOW = 64
+
+
+class WindowMatrix:
+    """W-slot reachability matrix with shift-out eviction and taint.
+
+    Slots are numbered oldest-first; ``rows[i]`` bit ``j`` means slot
+    *i* reaches slot *j*.  The taint mask marks slots that reach
+    settled (evicted) history.
+    """
+
+    def __init__(self, window: int):
+        if window < 1:
+            raise ValueError("window must hold at least one transaction")
+        self.window = window
+        self._rows: List[int] = []
+        self._taint: int = 0
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def taint(self) -> int:
+        return self._taint
+
+    def reaches(self, i: int, j: int) -> bool:
+        return bool(self._rows[i] >> j & 1)
+
+    # ------------------------------------------------------------------
+    def probe(self, forward: int, backward: int) -> Tuple[bool, int, int]:
+        """(ok, proceeding, succeeding) for candidate edge vectors.
+
+        ``ok`` is False when a cycle closes (``p & s``) or when the
+        candidate reaches tainted (settled) history.
+        """
+        proceeding = forward | self._mv_transposed(forward)
+        succeeding = backward | self._mv(backward)
+        ok = (proceeding & succeeding) == 0 and (proceeding & self._taint) == 0
+        return ok, proceeding, succeeding
+
+    def commit(self, proceeding: int, succeeding: int) -> bool:
+        """Insert a validated candidate as the newest slot.
+
+        Returns True if an eviction happened (the window was full).
+        """
+        k = len(self._rows)
+        for i in range(k):
+            if succeeding >> i & 1:
+                self._rows[i] |= proceeding | (1 << k)
+        self._rows.append(proceeding | (1 << k))
+        if len(self._rows) > self.window:
+            self._evict_oldest()
+            return True
+        return False
+
+    def _evict_oldest(self) -> None:
+        """Discard slot 0 (``h_{W-1}`` in Fig. 5) and renumber.
+
+        Residents that reach the evicted transaction become tainted;
+        existing taint shifts down with the renumbering.
+        """
+        evicted_reachers = 0
+        for i, row in enumerate(self._rows[1:], start=1):
+            if row & 1:
+                evicted_reachers |= 1 << (i - 1)
+        self._rows = [row >> 1 for row in self._rows[1:]]
+        self._taint = (self._taint >> 1) | evicted_reachers
+
+    # ------------------------------------------------------------------
+    def _mv(self, vec: int) -> int:
+        out = 0
+        for i, row in enumerate(self._rows):
+            if row & vec:
+                out |= 1 << i
+        return out
+
+    def _mv_transposed(self, vec: int) -> int:
+        out = 0
+        i = 0
+        while vec:
+            if vec & 1:
+                out |= self._rows[i]
+            vec >>= 1
+            i += 1
+        return out
+
+
+@dataclass
+class _Slot:
+    """Bookkeeping for one resident committed transaction (an ``h_i``)."""
+
+    label: Hashable
+    read_set: FrozenSet[Address]
+    write_set: FrozenSet[Address]
+    commit_index: int
+
+
+class SlidingWindowValidator:
+    """ROCoCo over the W most recent committed writing transactions."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        self.matrix = WindowMatrix(window)
+        self.window = window
+        self._slots: List[_Slot] = []  # oldest first
+        self.total_commits = 0  # writing commits ever accepted
+        self.stats_commits = 0
+        self.stats_read_only = 0
+        self.stats_cycle_aborts = 0
+        self.stats_overflow_aborts = 0
+        self.stats_taint_aborts = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def resident(self) -> int:
+        return len(self._slots)
+
+    @property
+    def oldest_commit_index(self) -> int:
+        """Commit index of the oldest resident transaction.
+
+        Snapshots older than this "neglect updates" of an evicted
+        transaction and must abort.
+        """
+        return self._slots[0].commit_index if self._slots else 0
+
+    def labels(self) -> List[Hashable]:
+        return [s.label for s in self._slots]
+
+    # ------------------------------------------------------------------
+    def submit(self, fp: Footprint) -> Decision:
+        """Validate one transaction.
+
+        ``fp.snapshot`` counts *writing commits* observed, in this
+        validator's commit order.
+        """
+        if fp.is_read_only:
+            self.stats_read_only += 1
+            return Decision(committed=True)
+
+        if fp.snapshot < self.oldest_commit_index:
+            self.stats_overflow_aborts += 1
+            return Decision(False, "window-overflow")
+
+        forward, backward = self._edges(fp)
+        ok, proceeding, succeeding = self.matrix.probe(forward, backward)
+        if not ok:
+            if proceeding & succeeding:
+                self.stats_cycle_aborts += 1
+            else:
+                self.stats_taint_aborts += 1
+            return Decision(False, "cycle", forward=forward, backward=backward)
+
+        self.matrix.commit(proceeding, succeeding)
+        self._slots.append(
+            _Slot(fp.label, fp.read_set, fp.write_set, self.total_commits)
+        )
+        if len(self._slots) > self.window:
+            del self._slots[0]
+        self.total_commits += 1
+        self.stats_commits += 1
+        return Decision(
+            True,
+            commit_index=self.total_commits - 1,
+            forward=forward,
+            backward=backward,
+        )
+
+    # ------------------------------------------------------------------
+    def _edges(self, fp: Footprint) -> Tuple[int, int]:
+        forward = 0
+        backward = 0
+        for i, slot in enumerate(self._slots):
+            bit = 1 << i
+            if fp.read_set & slot.write_set:
+                if slot.commit_index < fp.snapshot:
+                    backward |= bit
+                else:
+                    forward |= bit
+            if fp.write_set & slot.write_set or fp.write_set & slot.read_set:
+                backward |= bit
+        return forward, backward
+
+    # ------------------------------------------------------------------
+    def reaches(self, i: int, j: int) -> bool:
+        """Does resident slot *i* reach resident slot *j*?"""
+        return self.matrix.reaches(i, j)
+
+    @property
+    def stats_aborts(self) -> int:
+        return self.stats_cycle_aborts + self.stats_overflow_aborts + self.stats_taint_aborts

@@ -1,0 +1,46 @@
+"""Clock domain arithmetic for the FPGA model.
+
+The ROCoCoTM bitstream closes timing at 200 MHz on the Arria 10, with
+the 512-bit bloom filter as the critical path (§6.5).  Everything in
+:mod:`repro.hw` accounts time in integer nanoseconds and converts
+through a :class:`ClockDomain`, so a frequency change (e.g. the
+Stratix 10 retarget the paper anticipates, or the slower 1024-bit
+filter variant) is a one-parameter experiment.
+"""
+
+from __future__ import annotations
+
+import math
+
+DEFAULT_FREQUENCY_HZ = 200_000_000
+
+
+class ClockDomain:
+    """Integer-nanosecond accounting for a fixed-frequency clock."""
+
+    def __init__(self, frequency_hz: int = DEFAULT_FREQUENCY_HZ):
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        self.frequency_hz = frequency_hz
+
+    @property
+    def period_ns(self) -> float:
+        return 1e9 / self.frequency_hz
+
+    def cycles_to_ns(self, cycles: int) -> float:
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        return cycles * self.period_ns
+
+    def ns_to_cycles(self, ns: float) -> int:
+        """Whole cycles needed to cover *ns* (ceiling)."""
+        if ns < 0:
+            raise ValueError("time must be non-negative")
+        return math.ceil(ns / self.period_ns - 1e-12)
+
+    def align_up(self, ns: float) -> float:
+        """The first clock edge at or after *ns*."""
+        return self.ns_to_cycles(ns) * self.period_ns
+
+    def __repr__(self) -> str:
+        return f"ClockDomain({self.frequency_hz / 1e6:.0f} MHz)"

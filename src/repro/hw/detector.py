@@ -1,0 +1,155 @@
+"""The conflict Detector (left half of Fig. 5).
+
+The detector holds the bloom-filter bookkeeping ``h_0 .. h_{W-1}`` of
+the W most recent committed writing transactions — one read-set and
+one write-set signature each, "so that an upper bound of required
+resources can be determined a priori" (§5.3) — and compares an
+incoming transaction's read/write *addresses* against all W entries
+in parallel.  Addresses (not signatures) travel from the CPU so the
+detector can use the *query* operation, whose false positivity is
+orders of magnitude below set-intersection's (Fig. 7).
+
+Slot numbering matches :class:`repro.core.window.WindowMatrix`:
+oldest first, so the produced forward/backward masks feed the matrix
+directly.
+
+The W-way, 8-address-per-cycle parallel compare of the hardware is
+modelled with numpy word arrays: each address expands to its k-bit
+query mask once, then a single vectorized AND+compare covers all W
+signatures — the same dataflow as the RTL, at array granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..signatures import BloomSignature, SignatureConfig
+
+_WORD = 64
+
+
+def _signature_words(config: SignatureConfig) -> int:
+    return (config.bits + _WORD - 1) // _WORD
+
+
+def _raw_to_words(raw: int, words: int) -> np.ndarray:
+    out = np.zeros(words, dtype=np.uint64)
+    for i in range(words):
+        out[i] = (raw >> (i * _WORD)) & 0xFFFFFFFFFFFFFFFF
+    return out
+
+
+@dataclass(frozen=True)
+class Bookkeeping:
+    """One ``h_i`` entry: a committed transaction's two signatures."""
+
+    label: Hashable
+    commit_index: int
+    read_raw: int
+    write_raw: int
+
+
+class ConflictDetector:
+    """Parallel signature store with W-way conflict detection."""
+
+    def __init__(self, config: SignatureConfig, window: int):
+        if window < 1:
+            raise ValueError("window must hold at least one entry")
+        self.config = config
+        self.window = window
+        self._words = _signature_words(config)
+        self._read_sigs = np.zeros((window, self._words), dtype=np.uint64)
+        self._write_sigs = np.zeros((window, self._words), dtype=np.uint64)
+        self._entries: List[Bookkeeping] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def resident(self) -> int:
+        return len(self._entries)
+
+    @property
+    def oldest_commit_index(self) -> int:
+        return self._entries[0].commit_index if self._entries else 0
+
+    def entries(self) -> List[Bookkeeping]:
+        return list(self._entries)
+
+    # ------------------------------------------------------------------
+    def _query_mask(self, addresses: Sequence[int], sigs: np.ndarray) -> np.ndarray:
+        """Boolean per-slot vector: does any address query positive?"""
+        n = len(self._entries)
+        hit = np.zeros(n, dtype=bool)
+        if n == 0:
+            return hit
+        live = sigs[:n]
+        for addr in addresses:
+            mask_words = np.zeros(self._words, dtype=np.uint64)
+            for pos in self.config.bit_positions(addr):
+                mask_words[pos // _WORD] |= np.uint64(1 << (pos % _WORD))
+            hit |= ((live & mask_words) == mask_words).all(axis=1)
+        return hit
+
+    def edges(
+        self,
+        read_addrs: Sequence[int],
+        write_addrs: Sequence[int],
+        snapshot: int,
+    ) -> Tuple[int, int]:
+        """(forward, backward) slot bitmasks for a candidate.
+
+        A read conflict against a slot the candidate *observed*
+        (``commit_index < snapshot``) is a RAW backward edge; against
+        an unobserved slot it is the stale-read forward edge.  Write
+        conflicts (vs the slot's writes or reads) are always backward.
+        """
+        n = len(self._entries)
+        if n == 0:
+            return 0, 0
+        read_hits = self._query_mask(read_addrs, self._write_sigs)
+        write_hits = self._query_mask(write_addrs, self._write_sigs)
+        write_hits |= self._query_mask(write_addrs, self._read_sigs)
+
+        observed = np.fromiter(
+            (e.commit_index < snapshot for e in self._entries), dtype=bool, count=n
+        )
+        forward = _bools_to_mask(read_hits & ~observed)
+        backward = _bools_to_mask((read_hits & observed) | write_hits)
+        return forward, backward
+
+    # ------------------------------------------------------------------
+    def record_commit(
+        self,
+        label: Hashable,
+        commit_index: int,
+        read_addrs: Iterable[int],
+        write_addrs: Iterable[int],
+    ) -> bool:
+        """Append bookkeeping ``h_{-1}``; evicts ``h_{W-1}`` when full.
+
+        Returns True when an eviction happened (the caller's matrix
+        must shift in lock-step).
+        """
+        read_sig = self.config.of(read_addrs)
+        write_sig = self.config.of(write_addrs)
+        entry = Bookkeeping(label, commit_index, read_sig.raw, write_sig.raw)
+
+        evicted = len(self._entries) == self.window
+        if evicted:
+            del self._entries[0]
+            self._read_sigs[:-1] = self._read_sigs[1:]
+            self._write_sigs[:-1] = self._write_sigs[1:]
+        slot = len(self._entries)
+        self._entries.append(entry)
+        self._read_sigs[slot] = _raw_to_words(entry.read_raw, self._words)
+        self._write_sigs[slot] = _raw_to_words(entry.write_raw, self._words)
+        return evicted
+
+
+def _bools_to_mask(bools: np.ndarray) -> int:
+    mask = 0
+    for i in np.nonzero(bools)[0]:
+        mask |= 1 << int(i)
+    return mask

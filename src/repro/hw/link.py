@@ -1,0 +1,69 @@
+"""The CPU-FPGA interconnect model (HARP2 CCI, §6.2 footnote 8).
+
+The paper measures on HARP2's in-package QPI/CCI channel:
+
+* ~200 ns for an FPGA read that hits the shared LLC (CPU -> FPGA
+  direction of a request);
+* <400 ns for an FPGA write back to the LLC (FPGA -> CPU direction of
+  a response);
+* <600 ns cacheline round trip overall — "several orders of magnitude
+  smaller than the latency of FPGA as discrete PCIe accelerating card".
+
+Back-to-back cachelines stream at the channel's pipelined rate, so a
+multi-line message costs the one-way latency once plus a per-line
+beat.  A :class:`PcieLink` preset (the >1 us round-trip alternative
+the footnote contrasts) is provided for the interconnect ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+CACHELINE_BYTES = 64
+ADDRESSES_PER_CACHELINE = 8  # eight 64-bit addresses (§5.2)
+
+
+@dataclass(frozen=True)
+class InterconnectLink:
+    """One-way latencies plus a streaming beat for extra cachelines."""
+
+    to_device_ns: float
+    from_device_ns: float
+    beat_ns: float
+
+    def __post_init__(self):
+        if min(self.to_device_ns, self.from_device_ns, self.beat_ns) < 0:
+            raise ValueError("latencies must be non-negative")
+
+    @property
+    def round_trip_ns(self) -> float:
+        return self.to_device_ns + self.from_device_ns
+
+    def request_ns(self, cachelines: int) -> float:
+        """Time for a request of *cachelines* lines to reach the FPGA."""
+        return self._transfer(self.to_device_ns, cachelines)
+
+    def response_ns(self, cachelines: int = 1) -> float:
+        """Time for a response of *cachelines* lines to reach the CPU."""
+        return self._transfer(self.from_device_ns, cachelines)
+
+    def _transfer(self, latency_ns: float, cachelines: int) -> float:
+        if cachelines < 1:
+            raise ValueError("a transfer moves at least one cacheline")
+        return latency_ns + (cachelines - 1) * self.beat_ns
+
+    @staticmethod
+    def lines_for_addresses(n_addresses: int) -> int:
+        """Cachelines needed to ship *n_addresses* 64-bit addresses."""
+        return max(1, math.ceil(n_addresses / ADDRESSES_PER_CACHELINE))
+
+
+def harp2_cci_link() -> InterconnectLink:
+    """The measured HARP2 numbers from the paper."""
+    return InterconnectLink(to_device_ns=200.0, from_device_ns=400.0, beat_ns=5.0)
+
+
+def pcie_link() -> InterconnectLink:
+    """The discrete-card alternative (round trip > 1 us)."""
+    return InterconnectLink(to_device_ns=500.0, from_device_ns=600.0, beat_ns=8.0)

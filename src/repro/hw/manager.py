@@ -1,0 +1,102 @@
+"""The validation Manager (right half of Fig. 5).
+
+The manager owns the W x W reachability matrix (2D registers) and the
+decision logic: window-overflow check, the O(1) cycle test over the
+detector's forward/backward vectors, and the single-cycle matrix
+update + bookkeeping shift on commit.  It composes
+:class:`ConflictDetector` (signatures) with
+:class:`repro.core.window.WindowMatrix` (reachability), keeping the
+two shift registers in lock-step exactly as the commit broadcast in
+Fig. 5 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Sequence, Tuple
+
+from ..core.window import WindowMatrix
+from ..signatures import SignatureConfig
+from .detector import ConflictDetector
+
+
+@dataclass(frozen=True)
+class ValidationRequest:
+    """What the CPU ships for one transaction (§5.3): the read and
+    write sets *as addresses*, plus the snapshot (ValidTS)."""
+
+    label: Hashable
+    read_addrs: Tuple[int, ...]
+    write_addrs: Tuple[int, ...]
+    snapshot: int
+
+    @property
+    def n_addresses(self) -> int:
+        return len(self.read_addrs) + len(self.write_addrs)
+
+
+@dataclass(frozen=True)
+class Verdict:
+    committed: bool
+    reason: Optional[str] = None
+    commit_index: int = -1
+    forward: int = 0
+    backward: int = 0
+
+
+class ValidationManager:
+    """Decision logic over detector + matrix (order = arrival order)."""
+
+    def __init__(self, config: Optional[SignatureConfig] = None, window: int = 64):
+        self.config = config or SignatureConfig()
+        self.window = window
+        self.detector = ConflictDetector(self.config, window)
+        self.matrix = WindowMatrix(window)
+        self.total_commits = 0
+        self.stats_commits = 0
+        self.stats_cycle_aborts = 0
+        self.stats_overflow_aborts = 0
+        self.stats_taint_aborts = 0
+
+    @property
+    def stats_aborts(self) -> int:
+        return (
+            self.stats_cycle_aborts
+            + self.stats_overflow_aborts
+            + self.stats_taint_aborts
+        )
+
+    def validate(self, request: ValidationRequest) -> Verdict:
+        """Decide one transaction; commits update matrix + bookkeeping."""
+        if not request.write_addrs:
+            # Read-only transactions never reach the FPGA in ROCoCoTM
+            # (§5.3), but accept them gracefully if they do.
+            return Verdict(committed=True)
+
+        if request.snapshot < self.detector.oldest_commit_index:
+            self.stats_overflow_aborts += 1
+            return Verdict(False, "window-overflow")
+
+        forward, backward = self.detector.edges(
+            request.read_addrs, request.write_addrs, request.snapshot
+        )
+        ok, proceeding, succeeding = self.matrix.probe(forward, backward)
+        if not ok:
+            if proceeding & succeeding:
+                self.stats_cycle_aborts += 1
+            else:
+                self.stats_taint_aborts += 1
+            return Verdict(False, "cycle", forward=forward, backward=backward)
+
+        self.matrix.commit(proceeding, succeeding)
+        self.detector.record_commit(
+            request.label, self.total_commits, request.read_addrs, request.write_addrs
+        )
+        self.total_commits += 1
+        self.stats_commits += 1
+        return Verdict(
+            True,
+            commit_index=self.total_commits - 1,
+            forward=forward,
+            backward=backward,
+        )

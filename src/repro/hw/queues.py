@@ -1,0 +1,53 @@
+"""Asynchronous CPU<->FPGA message queues (Fig. 6's pull/push queues).
+
+ROCoCoTM cascades Executor -> (pull queue) -> Detector -> Manager ->
+(push queue) -> Committer into a meta-pipeline; the queues decouple
+the two clock/latency domains so communication latency is amortized
+over overlapped transactions.  Entries become *visible* to the
+consumer only after the link latency has elapsed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Generic, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class LatencyQueue(Generic[T]):
+    """FIFO whose entries appear to the consumer after a delay."""
+
+    def __init__(self, latency_ns: float = 0.0):
+        if latency_ns < 0:
+            raise ValueError("latency must be non-negative")
+        self.latency_ns = latency_ns
+        self._heap: List[Tuple[float, int, T]] = []
+        self._sequence = 0
+        self.max_depth = 0
+
+    def push(self, payload: T, now_ns: float) -> float:
+        """Enqueue; returns the time the entry becomes visible."""
+        visible = now_ns + self.latency_ns
+        heapq.heappush(self._heap, (visible, self._sequence, payload))
+        self._sequence += 1
+        self.max_depth = max(self.max_depth, len(self._heap))
+        return visible
+
+    def pop(self, now_ns: float) -> Optional[Tuple[float, T]]:
+        """The oldest visible entry as (visible_time, payload), or None."""
+        if self._heap and self._heap[0][0] <= now_ns:
+            visible, _, payload = heapq.heappop(self._heap)
+            return visible, payload
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Visibility time of the head entry (for event scheduling)."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

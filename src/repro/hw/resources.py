@@ -1,0 +1,131 @@
+"""Parametric FPGA resource & Fmax model (§6.5).
+
+The paper reports one synthesis point on the Arria 10 10AX115
+(W = 64, m = 512, 200 MHz):
+
+    113485 registers (62.9%), 249442 ALMs (58.39%),
+    223 DSPs (14.7%), 2055802 BRAM bits (3.7%)
+
+and two qualitative trends: the 512-bit bloom filter is the critical
+path, and widening it to 1024 bits still fits "under current resource
+consumption" but lowers the clock frequency.
+
+Synthesis cannot run here, so this module provides a documented
+linear decomposition — shell + detector + manager + hashing — whose
+coefficients are calibrated so the anchor point reproduces the
+reported numbers *exactly*, and whose scaling terms follow the
+architecture (matrix ~ W^2, signature datapath ~ W*m and m, hashing
+DSPs ~ k lanes x 8 addresses/cycle).  Treat extrapolations as the
+paper treats them: resource-feasibility arguments, not synthesis
+results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Device capacities implied by the paper's utilization percentages.
+DEVICE_ALMS = 427_200            # Arria 10 GX 1150
+DEVICE_REGISTERS = 180_422       # implied by 113485 = 62.9%
+DEVICE_DSPS = 1_518              # 223 = 14.7%
+DEVICE_BRAM_BITS = 55_562_216    # 2055802 = 3.7%
+
+# Anchor point: W = 64, m = 512, k = 4 at 200 MHz.
+_ANCHOR_W, _ANCHOR_M, _ANCHOR_K = 64, 512, 4
+_ANCHOR = {
+    "registers": 113_485,
+    "alms": 249_442,
+    "dsps": 223,
+    "bram_bits": 2_055_802,
+    "fmax_mhz": 200.0,
+}
+
+# Scaling coefficients (per-unit costs of the architecture's parts).
+ALM_PER_MATRIX_CELL = 1.5        # validate+update network per R[i][j]
+ALM_PER_DETECT_BIT = 6.0         # W-way compare tree per signature bit
+REG_PER_MATRIX_CELL = 1.0        # the 2D registers themselves
+REG_PER_PIPE_BIT = 4.0           # pipeline registers per signature bit
+DSP_PER_HASH_LANE = 6.0          # multiply-shift units: k lanes x 8 addrs
+BRAM_BITS_PER_SIG_BIT = 2 * 64   # two signatures per slot, W slots
+
+# Critical-path model: t = t_logic + t_bloom(m); calibrated to 5 ns at
+# m = 512 with the bloom popcount/merge tree depth growing as log2(m).
+_T_LOGIC_NS = 2.3
+_T_BLOOM_PER_LEVEL_NS = 0.3
+
+
+def _variable_terms(window: int, bits: int, partitions: int) -> dict:
+    return {
+        "registers": REG_PER_MATRIX_CELL * window**2 + REG_PER_PIPE_BIT * bits,
+        "alms": ALM_PER_MATRIX_CELL * window**2 + ALM_PER_DETECT_BIT * bits,
+        "dsps": DSP_PER_HASH_LANE * partitions * 8,
+        "bram_bits": 2 * window * bits + BRAM_BITS_PER_SIG_BIT * bits,
+    }
+
+
+_BASE = {
+    key: _ANCHOR[key] - _variable_terms(_ANCHOR_W, _ANCHOR_M, _ANCHOR_K)[key]
+    for key in ("registers", "alms", "dsps", "bram_bits")
+}
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """One synthesis-point estimate with device utilizations."""
+
+    window: int
+    signature_bits: int
+    partitions: int
+    registers: int
+    alms: int
+    dsps: int
+    bram_bits: int
+    fmax_mhz: float
+
+    @property
+    def register_pct(self) -> float:
+        return 100.0 * self.registers / DEVICE_REGISTERS
+
+    @property
+    def alm_pct(self) -> float:
+        return 100.0 * self.alms / DEVICE_ALMS
+
+    @property
+    def dsp_pct(self) -> float:
+        return 100.0 * self.dsps / DEVICE_DSPS
+
+    @property
+    def bram_pct(self) -> float:
+        return 100.0 * self.bram_bits / DEVICE_BRAM_BITS
+
+    @property
+    def fits(self) -> bool:
+        return (
+            self.registers <= DEVICE_REGISTERS
+            and self.alms <= DEVICE_ALMS
+            and self.dsps <= DEVICE_DSPS
+            and self.bram_bits <= DEVICE_BRAM_BITS
+        )
+
+
+def estimate(window: int = 64, signature_bits: int = 512, partitions: int = 4) -> ResourceEstimate:
+    """Resource & Fmax estimate for a (W, m, k) configuration."""
+    if window < 1 or signature_bits < 1 or partitions < 1:
+        raise ValueError("window, signature_bits and partitions must be positive")
+    terms = _variable_terms(window, signature_bits, partitions)
+    critical_path_ns = _T_LOGIC_NS + _T_BLOOM_PER_LEVEL_NS * (signature_bits.bit_length() - 1)
+    return ResourceEstimate(
+        window=window,
+        signature_bits=signature_bits,
+        partitions=partitions,
+        registers=round(_BASE["registers"] + terms["registers"]),
+        alms=round(_BASE["alms"] + terms["alms"]),
+        dsps=round(_BASE["dsps"] + terms["dsps"]),
+        bram_bits=round(_BASE["bram_bits"] + terms["bram_bits"]),
+        fmax_mhz=1000.0 / critical_path_ns,
+    )
+
+
+def paper_table() -> ResourceEstimate:
+    """The §6.5 synthesis point (reproduces the paper's numbers)."""
+    return estimate(window=64, signature_bits=512, partitions=4)

@@ -1,0 +1,65 @@
+"""The TM runtime: simulator, programming API, and the five systems.
+
+* :class:`Simulator` — deterministic discrete-event multicore model
+  (the HARP2 Xeon substitute; see DESIGN.md).
+* API — :class:`Read`, :class:`Write`, :class:`Work`, :class:`Alloc`,
+  :class:`Transaction` yielded by generator-coroutine workloads.
+* Backends — :class:`SequentialBackend` (speedup denominator),
+  :class:`CoarseLockBackend`, :class:`TinySTMBackend` (LSA),
+  :class:`TsxBackend` (best-effort HTM), :class:`RococoTMBackend`
+  (the paper's hybrid system, §5), and
+  :class:`SnapshotIsolationBackend` (MVCC-SI — the compositional but
+  anomalous point of the §2.2 semantics lattice).
+"""
+
+from .api import (
+    Alloc,
+    AwaitBarrier,
+    Read,
+    SimBarrier,
+    Transaction,
+    TransactionAborted,
+    Work,
+    Write,
+)
+from .backend import CostModel, ParkThread, TMBackend
+from .coarse_lock import CoarseLockBackend, GlobalLock
+from .memory import CELLS_PER_CACHELINE, Memory
+from .recording import RecordingBackend
+from .rococotm import RococoTMBackend
+from .sequential import SequentialBackend
+from .si_mvcc import SnapshotIsolationBackend
+from .simulator import Simulator
+from .stats import RunStats, geomean, speedup
+from .tinystm import TinySTMBackend
+from .tinystm_etl import TinySTMEtlBackend
+from .tsx import TsxBackend
+
+__all__ = [
+    "Alloc",
+    "AwaitBarrier",
+    "CELLS_PER_CACHELINE",
+    "CoarseLockBackend",
+    "CostModel",
+    "GlobalLock",
+    "Memory",
+    "ParkThread",
+    "Read",
+    "RecordingBackend",
+    "RococoTMBackend",
+    "RunStats",
+    "SequentialBackend",
+    "SimBarrier",
+    "SnapshotIsolationBackend",
+    "Simulator",
+    "TMBackend",
+    "TinySTMBackend",
+    "TinySTMEtlBackend",
+    "Transaction",
+    "TransactionAborted",
+    "TsxBackend",
+    "Work",
+    "Write",
+    "geomean",
+    "speedup",
+]

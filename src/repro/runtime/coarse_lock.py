@@ -1,0 +1,84 @@
+"""A single global lock around every atomic block.
+
+This is both a sanity baseline (perfectly serialized, zero aborts) and
+the fallback path of the TSX model: best-effort HTM must eventually
+fall back to a mutual-exclusion path, and the paper's implementation
+uses exactly a global lock after four failed retries (§6.2).
+
+Lock waiters park in FIFO order and are woken by the releasing
+committer — the classic convoy, which is why this baseline stops
+scaling immediately.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
+
+from .backend import ParkThread, TMBackend
+from .sequential import LOAD_NS, STORE_NS
+
+ACQUIRE_NS = 18.0        # CAS + fence with the line already local
+LOCK_TRANSFER_NS = 160.0  # cross-core cacheline migration of the lock
+RELEASE_NS = 25.0
+
+
+class GlobalLock:
+    """A simulated FIFO mutex shared by backends."""
+
+    def __init__(self) -> None:
+        self.holder: Optional[int] = None
+        self.last_holder: Optional[int] = None
+        self.waiters: Deque[int] = deque()
+
+    @property
+    def held(self) -> bool:
+        return self.holder is not None
+
+    def acquire(self, tid: int, now: float, simulator) -> float:
+        """Returns the acquisition time, or parks the caller."""
+        if self.holder is None:
+            cost = ACQUIRE_NS
+            if self.last_holder is not None and self.last_holder != tid:
+                cost += LOCK_TRANSFER_NS
+            self.holder = tid
+            self.last_holder = tid
+            return now + cost
+        if tid not in self.waiters:
+            self.waiters.append(tid)
+        raise ParkThread()
+
+    def release(self, tid: int, now: float, simulator) -> float:
+        if self.holder != tid:
+            raise RuntimeError(f"thread {tid} releasing a lock it does not hold")
+        self.holder = None
+        if self.waiters:
+            simulator.wake(self.waiters.popleft(), now + RELEASE_NS)
+        return now + RELEASE_NS
+
+
+class CoarseLockBackend(TMBackend):
+    """Every transaction runs under one global mutex; in-place writes."""
+
+    name = "global-lock"
+    metadata_footprint = 0.1
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.lock = GlobalLock()
+
+    def begin(self, tid: int, now: float) -> float:
+        return self.lock.acquire(tid, now, self.simulator)
+
+    def read(self, tid: int, addr: int, now: float) -> Tuple[Any, float]:
+        return self.memory.load(addr), now + self.scaled(LOAD_NS)
+
+    def write(self, tid: int, addr: int, value: Any, now: float) -> float:
+        self.memory.store(addr, value)
+        return now + self.scaled(STORE_NS)
+
+    def commit(self, tid: int, now: float) -> float:
+        return self.lock.release(tid, now, self.simulator)
+
+    def rollback(self, tid: int, now: float, cause: str) -> float:  # pragma: no cover
+        raise AssertionError("lock-based execution cannot abort")

@@ -1,0 +1,69 @@
+"""The simulated flat heap.
+
+One address = one cell holding an arbitrary Python value (a 64-bit
+word in the real system; pointer-typed cells hold other addresses).
+A bump allocator hands out fresh ranges; there is no free — STAMP's
+transactional phases are allocation-monotone and the simulator's runs
+are short-lived.
+
+Cachelines group 8 consecutive cells (64-byte lines of 64-bit words),
+which the TSX model uses for conflict granularity — false sharing
+included, as in the real hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+CELLS_PER_CACHELINE = 8
+
+
+class Memory:
+    """Word-addressed heap with direct (non-transactional) access."""
+
+    def __init__(self) -> None:
+        self._cells: Dict[int, Any] = {}
+        self._brk = 0
+
+    def alloc(self, cells: int, align_line: bool = False) -> int:
+        """Reserve *cells* consecutive addresses; returns the base.
+
+        ``align_line`` starts the block on a cacheline boundary, which
+        data structures use to avoid gratuitous false sharing (as a
+        cache-conscious C implementation would).
+        """
+        if cells < 1:
+            raise ValueError("allocation must cover at least one cell")
+        if align_line and self._brk % CELLS_PER_CACHELINE:
+            self._brk += CELLS_PER_CACHELINE - self._brk % CELLS_PER_CACHELINE
+        base = self._brk
+        self._brk += cells
+        return base
+
+    def load(self, addr: int) -> Any:
+        """Direct load; unwritten cells read as 0 (zeroed heap)."""
+        self._check(addr)
+        return self._cells.get(addr, 0)
+
+    def store(self, addr: int, value: Any) -> None:
+        self._check(addr)
+        self._cells[addr] = value
+
+    def store_many(self, base: int, values: Iterable[Any]) -> None:
+        for offset, value in enumerate(values):
+            self.store(base + offset, value)
+
+    def load_many(self, base: int, count: int) -> List[Any]:
+        return [self.load(base + i) for i in range(count)]
+
+    def _check(self, addr: int) -> None:
+        if not 0 <= addr < self._brk:
+            raise IndexError(f"address {addr} outside allocated heap [0, {self._brk})")
+
+    @property
+    def allocated(self) -> int:
+        return self._brk
+
+    @staticmethod
+    def cacheline(addr: int) -> int:
+        return addr // CELLS_PER_CACHELINE

@@ -1,0 +1,171 @@
+"""A history-recording wrapper: any backend, post-hoc verified.
+
+Wrapping a backend in :class:`RecordingBackend` captures the complete
+multi-version execution history — including the reads of *aborted*
+attempts — as a :class:`repro.semantics.History`.  After the run, the
+semantics layer can then check:
+
+* **conflict serializability** of the committed transactions
+  (acyclicity of ``->_rw`` — the §3.2 iff-condition), with a verified
+  serial witness;
+* **opacity** (§5.3 footnote 7): every attempt, aborted ones included,
+  observed a consistent snapshot — aborted transactions must never
+  see impossible states, or zombie executions could fault.
+
+This turns the formalization of section 3 into a runtime oracle for
+the systems of section 5: the same code that proves the write-skew
+history non-serializable audits arbitrary simulated executions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..semantics import History
+from ..semantics.serializability import assert_serializable, explain_cycle
+from .api import TransactionAborted
+from .backend import TMBackend
+
+
+class RecordingBackend(TMBackend):
+    """Delegates everything to *inner*, recording a History.
+
+    Version attribution matches observed values against committed
+    writers' stored values; colliding values can only *under*-report
+    anomalies, never invent them, so a failing oracle always means a
+    real bug.
+    """
+
+    def __init__(self, inner: TMBackend):
+        super().__init__()
+        self.inner = inner
+        self.name = f"recorded({inner.name})"
+        self.metadata_footprint = inner.metadata_footprint
+        self.backoff_scale = inner.backoff_scale
+        self.history = History()
+        self._attempt_id = 0
+        self._current: Dict[int, int] = {}
+        self._writes: Dict[int, Set[int]] = {}
+        self._written_values: Dict[int, Dict[int, Any]] = {}
+        self._last_writer: Dict[int, int] = {}
+        self._committed_set: Set[int] = set()
+        self.aborted_attempts: List[int] = []
+        self.committed_attempts: List[int] = []
+
+    def attach(self, simulator) -> None:
+        super().attach(simulator)
+        self.inner.attach(simulator)
+
+    # ------------------------------------------------------------------
+    def begin(self, tid: int, now: float) -> float:
+        at = self.inner.begin(tid, now)
+        self._attempt_id += 1
+        attempt = self._attempt_id
+        self._current[tid] = attempt
+        self._writes[attempt] = set()
+        self.history.begin(attempt)
+        return at
+
+    def read(self, tid: int, addr: int, now: float) -> Tuple[Any, float]:
+        attempt = self._current[tid]
+        try:
+            value, at = self.inner.read(tid, addr, now)
+        except TransactionAborted:
+            self._record_abort(tid)
+            raise
+        if addr not in self._writes[attempt]:
+            self.history.read(attempt, addr, version=self._version_of(addr, value))
+        return value, at
+
+    def write(self, tid: int, addr: int, value: Any, now: float) -> float:
+        attempt = self._current[tid]
+        try:
+            at = self.inner.write(tid, addr, value, now)
+        except TransactionAborted:
+            self._record_abort(tid)
+            raise
+        self._writes[attempt].add(addr)
+        self.history.write(attempt, addr)
+        self._written_values.setdefault(addr, {})[attempt] = value
+        return at
+
+    def commit(self, tid: int, now: float) -> float:
+        attempt = self._current[tid]
+        try:
+            at = self.inner.commit(tid, now)
+        except TransactionAborted:
+            self._record_abort(tid)
+            raise
+        self.history.commit(attempt)
+        self.committed_attempts.append(attempt)
+        self._committed_set.add(attempt)
+        for addr in self._writes[attempt]:
+            self._last_writer[addr] = attempt
+        self._current.pop(tid, None)
+        return at
+
+    def rollback(self, tid: int, now: float, cause: str) -> float:
+        # Aborts raised from begin() never opened an attempt; aborts
+        # from read/write/commit were recorded when they unwound.
+        return self.inner.rollback(tid, now, cause)
+
+    def run_finished(self) -> None:
+        self.inner.run_finished()
+
+    # ------------------------------------------------------------------
+    def _version_of(self, addr: int, value: Any) -> int:
+        last = self._last_writer.get(addr)
+        stored = self._written_values.get(addr, {})
+        if last is not None and stored.get(last) == value:
+            return last
+        for attempt in sorted(stored, reverse=True):
+            if attempt in self._committed_set and stored[attempt] == value:
+                return attempt
+        return -1  # the initial version
+
+    def _record_abort(self, tid: int) -> None:
+        attempt = self._current.pop(tid, None)
+        if attempt is not None:
+            self.history.abort(attempt)
+            self.aborted_attempts.append(attempt)
+
+    def _finish_stragglers(self) -> None:
+        for tid in list(self._current):
+            self._record_abort(tid)
+
+    # ------------------------------------------------------------------
+    # Post-run oracles
+    # ------------------------------------------------------------------
+    def verify_serializable(self) -> List[int]:
+        """Assert committed attempts are conflict-serializable; returns
+        the verified serial witness (attempt ids)."""
+        self._finish_stragglers()
+        return assert_serializable(self.history)
+
+    def check_serializable(self) -> Optional[List[int]]:
+        """Like :meth:`verify_serializable` but returns None on failure
+        instead of raising (for negative tests, e.g. against SI)."""
+        self._finish_stragglers()
+        rw = self.history.rw_dependencies()
+        if explain_cycle(rw) is not None:
+            return None
+        return rw.topological_order()
+
+    def verify_opacity(self) -> None:
+        """Every attempt — aborted ones included — read a consistent
+        snapshot: grafting the attempt into the committed history as a
+        read-only observer must keep the dependencies acyclic.
+        (Aborted writes never installed versions, so only the reads
+        contribute edges.)"""
+        self._finish_stragglers()
+        committed = set(self.history.committed)
+        for attempt in self.aborted_attempts:
+            if not self.history.record(attempt).reads:
+                continue
+            rw = self.history.rw_dependencies(committed | {attempt})
+            cycle = explain_cycle(rw)
+            if cycle and attempt in cycle:
+                raise AssertionError(
+                    f"opacity violation: aborted attempt {attempt} observed "
+                    f"an inconsistent snapshot (cycle {cycle})"
+                )

@@ -1,0 +1,288 @@
+"""ROCoCoTM: the paper's hybrid TM (section 5).
+
+The CPU side implements Algorithm 1 verbatim over thread-local
+bloom-filter signatures — no per-location metadata, no atomics on the
+fast path:
+
+* ``GlobalTS`` counts committed writing transactions; the
+  ``CommitQueue`` holds each one's write-set signature.
+* Every read advances ``LocalTS`` over the commit queue, uniting the
+  missed write signatures into a ``TempSet``.  While the read-set
+  signature stays disjoint from the updates, the snapshot *extends*
+  (``ValidTS = LocalTS``, Fig. 8(b)); once it overlaps, the snapshot
+  freezes and the accumulated ``MissSet`` must never be read again
+  (Fig. 8(c)/(d)), or the transaction aborts on the CPU — the fast
+  fail path that never pays out-of-core latency.
+* The read-set signature is summarized per 8-address sub-signature:
+  a whole-set overlap triggers per-subset re-intersection, keeping
+  conflict resolution O(1) typical / O(r/8) worst case (§5.3).
+* The ``UpdateSet`` holds the signatures of transactions currently
+  writing back — commit-time locking: a reader hitting it backs off
+  until the write-back completes (or aborts if its snapshot already
+  froze).
+
+Writing transactions ship their read/write *addresses* and ``ValidTS``
+to the FPGA engine (:mod:`repro.hw`) and wait for the verdict; the
+engine's sliding-window ROCoCo decides.  Read-only transactions and
+empty-write-set transactions commit directly on the CPU (§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..hw import FpgaValidationEngine, ValidationRequest
+from ..signatures import BloomSignature, SignatureConfig
+from .api import TransactionAborted
+from .backend import ParkThread, TMBackend
+from .coarse_lock import GlobalLock
+
+BEGIN_NS = 10.0
+READ_BASE_NS = 6.0          # raw load + signature insert
+WRITE_NS = 6.0              # redo-log append + signature insert
+TEMPSET_PER_ENTRY_NS = 3.0  # one 512-bit OR from the commit queue
+INTERSECT_NS = 4.0          # one signature intersection (AVX2)
+SUBSET_SIZE = 8             # addresses per read-set sub-signature
+COMMIT_RO_NS = 5.0
+WRITEBACK_PER_WORD_NS = 7.0
+ROLLBACK_NS = 14.0
+
+
+@dataclass
+class _TxnState:
+    local_ts: int
+    valid_ts: int
+    frozen: bool = False                    # MissSet != empty
+    read_addrs: List[int] = field(default_factory=list)
+    read_sig: BloomSignature = None         # type: ignore[assignment]
+    sub_sigs: List[BloomSignature] = field(default_factory=list)
+    write_addrs: List[int] = field(default_factory=list)
+    write_sig: BloomSignature = None        # type: ignore[assignment]
+    redo: Dict[int, Any] = field(default_factory=dict)
+    miss_sig: BloomSignature = None         # type: ignore[assignment]
+
+
+@dataclass
+class _UpdateEntry:
+    """A committing transaction's write signature, live during write-back."""
+
+    signature: BloomSignature
+    end_ns: float
+
+
+class RococoTMBackend(TMBackend):
+    """The hybrid CPU+FPGA TM of section 5."""
+
+    name = "ROCoCoTM"
+    #: compact global metadata (signatures only) — the smallest
+    #: footprint of the contenders (§6.3's 28-thread argument).
+    metadata_footprint = 0.55
+
+    def __init__(
+        self,
+        window: int = 64,
+        signature_config: Optional[SignatureConfig] = None,
+        engine: Optional[FpgaValidationEngine] = None,
+        irrevocable_after: Optional[int] = None,
+    ):
+        """``irrevocable_after``: consecutive aborts after which a
+        transaction re-executes *irrevocably* under a global lock —
+        the forward-progress escape hatch §4.2 prescribes for long
+        transactions starved by sliding-window overflow.  None (the
+        paper's evaluated configuration) disables it.
+        """
+        super().__init__()
+        self.config = signature_config or SignatureConfig()
+        self.engine = engine or FpgaValidationEngine(window=window, config=self.config)
+        self.global_ts = 0
+        self.commit_queue: List[BloomSignature] = []
+        self._updates: List[_UpdateEntry] = []
+        self._txns: Dict[int, _TxnState] = {}
+        self._label = 0
+        self.irrevocable_after = irrevocable_after
+        self._failures: Dict[int, int] = {}
+        self._irrevocable_lock = GlobalLock()
+        self._irrevocable: set = set()
+        self._lock_watchers: List[int] = []
+        self.stats_irrevocable_commits = 0
+
+    # ------------------------------------------------------------------
+    def begin(self, tid: int, now: float) -> float:
+        if self._irrevocable_lock.held:
+            # An irrevocable transaction runs exclusively: optimistic
+            # readers could not keep a consistent snapshot against its
+            # in-place writes, so everyone waits for it to finish.
+            self._lock_watchers.append(tid)
+            raise ParkThread()
+        if (
+            self.irrevocable_after is not None
+            and self._failures.get(tid, 0) >= self.irrevocable_after
+        ):
+            at = self._irrevocable_lock.acquire(tid, now, self.simulator)
+            self._irrevocable.add(tid)
+        else:
+            at = now
+        ts = self.global_ts
+        self._txns[tid] = _TxnState(
+            local_ts=ts,
+            valid_ts=ts,
+            read_sig=self.config.new(),
+            write_sig=self.config.new(),
+            miss_sig=self.config.new(),
+        )
+        return at + self.scaled(BEGIN_NS)
+
+    # ------------------------------------------------------------------
+    # TM_READ — Algorithm 1 lines 1-20.
+    # ------------------------------------------------------------------
+    def read(self, tid: int, addr: int, now: float) -> Tuple[Any, float]:
+        txn = self._txns[tid]
+        cost = READ_BASE_NS
+
+        if addr in txn.redo:  # lines 1-3
+            return txn.redo[addr], now + self.scaled(cost)
+
+        if tid in self._irrevocable:
+            # Exclusive mode: no concurrent commits can happen (the
+            # optimistic commit path fences on the lock), so direct
+            # loads are consistent once lingering write-backs drain.
+            now = self._update_set_barrier(txn, addr, now)
+            return self.memory.load(addr), now + self.scaled(cost)
+
+        # Lines 5-7: commit-time locking via the update set.
+        now = self._update_set_barrier(txn, addr, now)
+
+        value = self.memory.load(addr)  # line 8
+
+        # Lines 9-13: fold missed commits into a TempSet.
+        temp = self.config.new()
+        entries = 0
+        while txn.local_ts < self.global_ts:
+            temp.unite(self.commit_queue[txn.local_ts])
+            txn.local_ts += 1
+            entries += 1
+        cost += TEMPSET_PER_ENTRY_NS * entries
+
+        # Lines 14-19 + the Fig. 8(b) extension.
+        if entries or txn.frozen:
+            overlap = False
+            if not temp.is_empty():
+                cost += INTERSECT_NS
+                if txn.read_sig.intersects(temp):
+                    # Whole-set hit: re-check per 8-address subset for
+                    # accuracy (§5.3).
+                    cost += INTERSECT_NS * max(1, len(txn.sub_sigs))
+                    overlap = any(s.intersects(temp) for s in txn.sub_sigs)
+            if txn.frozen or overlap:
+                txn.miss_sig.unite(temp)
+                txn.frozen = True
+                if txn.miss_sig.query(addr):
+                    raise TransactionAborted("cpu-miss")
+            else:
+                txn.valid_ts = txn.local_ts  # snapshot extension
+
+        self._record_read(txn, addr)  # line 20
+        return value, now + self.scaled(cost)
+
+    def _update_set_barrier(self, txn: _TxnState, addr: int, now: float) -> float:
+        """Lines 5-7: wait out (or abort on) in-flight write-backs."""
+        while True:
+            live = [u for u in self._updates if u.end_ns > now]
+            self._updates = live
+            blocking = [u for u in live if u.signature.query(addr)]
+            if not blocking:
+                return now
+            if txn.frozen:
+                raise TransactionAborted("cpu-update-conflict")
+            now = max(u.end_ns for u in blocking)  # back_off()
+
+    def _record_read(self, txn: _TxnState, addr: int) -> None:
+        txn.read_sig.insert(addr)
+        if len(txn.read_addrs) % SUBSET_SIZE == 0:
+            txn.sub_sigs.append(self.config.new())
+        txn.sub_sigs[-1].insert(addr)
+        txn.read_addrs.append(addr)
+
+    # ------------------------------------------------------------------
+    def write(self, tid: int, addr: int, value: Any, now: float) -> float:
+        txn = self._txns[tid]
+        if addr not in txn.redo:
+            txn.write_addrs.append(addr)
+            txn.write_sig.insert(addr)
+        txn.redo[addr] = value  # lines 21-22
+        return now + self.scaled(WRITE_NS)
+
+    # ------------------------------------------------------------------
+    def commit(self, tid: int, now: float) -> float:
+        txn = self._txns[tid]
+        if tid in self._irrevocable:
+            return self._commit_irrevocable(tid, txn, now)
+        if not txn.write_addrs:
+            # Read-only fast path: commits directly on the CPU (§5.3).
+            self.stats.read_only_commits += 1
+            self._failures[tid] = 0
+            return now + self.scaled(COMMIT_RO_NS)
+
+        if self._irrevocable_lock.held:
+            # An irrevocable transaction is executing against a frozen
+            # world; committing under it would invalidate its reads.
+            raise TransactionAborted("cpu-irrevocable-fence")
+
+        # Ship addresses + ValidTS to the FPGA and wait for the verdict.
+        self._label += 1
+        request = ValidationRequest(
+            label=self._label,
+            read_addrs=tuple(txn.read_addrs),
+            write_addrs=tuple(txn.write_addrs),
+            snapshot=txn.valid_ts,
+        )
+        response = self.engine.submit(request, now)
+        self.stats.validation_ns += response.ready_ns - now
+        self.stats.validations += 1
+        if not response.verdict.committed:
+            cause = "fpga-" + (response.verdict.reason or "cycle")
+            raise TransactionAborted(cause)
+
+        # Publish to the update set (commit-time locking), write back,
+        # bump GlobalTS, append the write signature to the queue.  The
+        # executing thread resumes at `ready`: the write-back is the
+        # Committer stage of the meta-pipeline (§5.1) and overlaps the
+        # thread's next work; readers of the written addresses stay
+        # blocked on the update set until it completes.
+        ready = response.ready_ns
+        writeback_end = ready + self.scaled(
+            WRITEBACK_PER_WORD_NS * len(txn.write_addrs)
+        )
+        self._updates.append(_UpdateEntry(txn.write_sig, writeback_end))
+        for addr, value in txn.redo.items():
+            self.memory.store(addr, value)
+        self.commit_queue.append(txn.write_sig)
+        self.global_ts += 1
+        self._failures[tid] = 0
+        return ready
+
+    def _commit_irrevocable(self, tid: int, txn: _TxnState, now: float) -> float:
+        """Exclusive commit: no validation needed, but the write
+        signature still enters the commit queue so optimistic peers
+        track the snapshot correctly afterwards."""
+        writeback_end = now + self.scaled(
+            WRITEBACK_PER_WORD_NS * max(1, len(txn.write_addrs))
+        )
+        for addr, value in txn.redo.items():
+            self.memory.store(addr, value)
+        if txn.write_addrs:
+            self.commit_queue.append(txn.write_sig)
+            self.global_ts += 1
+        self._irrevocable.discard(tid)
+        self._failures[tid] = 0
+        self.stats_irrevocable_commits += 1
+        ready = self._irrevocable_lock.release(tid, writeback_end, self.simulator)
+        for watcher in self._lock_watchers:
+            self.simulator.wake(watcher, ready)
+        self._lock_watchers.clear()
+        return ready
+
+    def rollback(self, tid: int, now: float, cause: str) -> float:
+        self._failures[tid] = self._failures.get(tid, 0) + 1
+        return now + self.scaled(ROLLBACK_NS)

@@ -1,0 +1,44 @@
+"""The sequential baseline — Fig. 10's speedup denominator.
+
+STAMP's reference point is the plain sequential program: no
+instrumentation, no synchronization, every load/store at raw memory
+cost.  Run it with one thread; it never aborts and never conflicts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from .api import TransactionAborted
+from .backend import TMBackend
+
+LOAD_NS = 1.5
+STORE_NS = 1.5
+
+
+class SequentialBackend(TMBackend):
+    """Direct, uninstrumented execution (single thread only)."""
+
+    name = "sequential"
+    metadata_footprint = 0.0
+
+    def attach(self, simulator) -> None:
+        if simulator.n_threads != 1:
+            raise ValueError("the sequential baseline is single-threaded")
+        super().attach(simulator)
+
+    def begin(self, tid: int, now: float) -> float:
+        return now
+
+    def read(self, tid: int, addr: int, now: float) -> Tuple[Any, float]:
+        return self.memory.load(addr), now + LOAD_NS
+
+    def write(self, tid: int, addr: int, value: Any, now: float) -> float:
+        self.memory.store(addr, value)
+        return now + STORE_NS
+
+    def commit(self, tid: int, now: float) -> float:
+        return now
+
+    def rollback(self, tid: int, now: float, cause: str) -> float:  # pragma: no cover
+        raise AssertionError("sequential execution cannot abort")

@@ -1,0 +1,278 @@
+"""The deterministic discrete-event multicore simulator.
+
+Substitution note (see DESIGN.md): this replaces the paper's 14-core
+Haswell Xeon.  Each thread is a generator coroutine with its own
+simulated clock; the scheduler always advances the thread with the
+smallest clock (ties broken by thread id), so every shared-state
+operation executes atomically at a well-defined simulated instant and
+runs are bit-for-bit reproducible.  Speedups (Fig. 10) are ratios of
+*makespans* — the largest thread clock at completion — against the
+sequential baseline.
+
+Thread programs yield :class:`Transaction` and :class:`Work`;
+transaction bodies yield :class:`Read`/:class:`Write`/:class:`Work`/
+:class:`Alloc` (see :mod:`repro.runtime.api`).  The driver implements
+the retry loop: abort -> rollback -> exponential backoff -> fresh body.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional, Sequence
+
+from .api import (
+    Alloc,
+    AwaitBarrier,
+    Read,
+    Transaction,
+    TransactionAborted,
+    Work,
+    Write,
+)
+from .backend import CostModel, ParkThread, TMBackend
+from .memory import Memory
+from .stats import RunStats
+
+#: cost of the allocator fast path (a bump pointer), ns.
+ALLOC_NS = 4.0
+
+
+@dataclass
+class _Thread:
+    tid: int
+    program: Generator
+    clock: float = 0.0
+    #: value to send into the program generator at the next step.
+    program_value: Any = None
+    #: active transaction state (None outside transactions).
+    txn: Optional["_TxnState"] = None
+    parked: bool = False
+    done: bool = False
+    rng: random.Random = field(default_factory=random.Random)
+
+
+@dataclass
+class _TxnState:
+    make_body: Callable[[], Generator]
+    label: Optional[str]
+    body: Generator = None  # type: ignore[assignment]
+    attempt: int = 0
+    attempt_start: float = 0.0
+    #: value to send into the body at the next step.
+    body_value: Any = None
+    #: operation to re-issue after a wake (parked mid-operation).
+    pending_op: Any = None
+
+
+class Simulator:
+    """Runs thread programs against one backend; collects RunStats."""
+
+    def __init__(
+        self,
+        backend: TMBackend,
+        n_threads: int,
+        memory: Optional[Memory] = None,
+        cost_model: Optional[CostModel] = None,
+        seed: int = 0,
+        workload_name: str = "",
+        max_steps: int = 200_000_000,
+    ):
+        if n_threads < 1:
+            raise ValueError("need at least one thread")
+        self.backend = backend
+        self.n_threads = n_threads
+        self.memory = memory if memory is not None else Memory()
+        self.cost_model = cost_model or CostModel()
+        self.seed = seed
+        self.max_steps = max_steps
+        self.stats = RunStats(
+            backend=backend.name, workload=workload_name, n_threads=n_threads
+        )
+        self._threads: List[_Thread] = []
+        backend.attach(self)
+
+    # ------------------------------------------------------------------
+    def run(self, programs: Sequence[Callable[[int], Generator]]) -> RunStats:
+        """Execute one program generator per thread to completion.
+
+        ``programs[i]`` is called with the thread id to produce the
+        thread's program; usually all entries are the same function.
+        """
+        if len(programs) != self.n_threads:
+            raise ValueError("one program per thread required")
+        self._threads = [
+            _Thread(
+                tid=tid,
+                program=make(tid),
+                rng=random.Random((self.seed << 20) ^ tid),
+            )
+            for tid, make in enumerate(programs)
+        ]
+        steps = 0
+        while True:
+            runnable = [
+                t for t in self._threads if not t.done and not t.parked
+            ]
+            if not runnable:
+                if any(t.parked for t in self._threads):
+                    raise RuntimeError(
+                        "deadlock: all live threads are parked"
+                    )
+                break
+            thread = min(runnable, key=lambda t: (t.clock, t.tid))
+            self._step(thread)
+            steps += 1
+            if steps > self.max_steps:
+                raise RuntimeError("simulation exceeded max_steps (livelock?)")
+        self.stats.makespan_ns = max(t.clock for t in self._threads)
+        self.backend.run_finished()
+        return self.stats
+
+    def wake(self, tid: int, at_ns: float) -> None:
+        """Unpark a thread (backends call this on lock release)."""
+        thread = self._threads[tid]
+        if not thread.parked:
+            raise RuntimeError(f"thread {tid} is not parked")
+        thread.parked = False
+        thread.clock = max(thread.clock, at_ns)
+
+    # ------------------------------------------------------------------
+    def _step(self, thread: _Thread) -> None:
+        if thread.txn is None:
+            self._step_program(thread)
+        else:
+            self._step_transaction(thread)
+
+    def _step_program(self, thread: _Thread) -> None:
+        try:
+            op = thread.program.send(thread.program_value)
+        except StopIteration:
+            thread.done = True
+            return
+        thread.program_value = None
+        if isinstance(op, Work):
+            thread.clock += op.ns * self.cost_model.compute_scale(self.n_threads)
+        elif isinstance(op, Transaction):
+            thread.txn = _TxnState(make_body=op.body, label=op.label)
+            self._begin_attempt(thread)
+        elif isinstance(op, AwaitBarrier):
+            self._arrive_barrier(thread, op.barrier)
+        else:
+            raise TypeError(f"thread programs may not yield {op!r}")
+
+    def _arrive_barrier(self, thread: _Thread, barrier) -> None:
+        barrier.waiting.append((thread.tid, thread.clock))
+        if len(barrier.waiting) < barrier.parties:
+            thread.parked = True
+            return
+        release = max(clock for _, clock in barrier.waiting) + barrier.cost_ns
+        for tid, _ in barrier.waiting:
+            if tid == thread.tid:
+                thread.clock = release
+            else:
+                self.wake(tid, release)
+        barrier.waiting.clear()
+
+    def _begin_attempt(self, thread: _Thread) -> None:
+        txn = thread.txn
+        while True:
+            txn.body = txn.make_body()
+            txn.body_value = None
+            txn.pending_op = None
+            txn.attempt += 1
+            txn.attempt_start = thread.clock
+            try:
+                thread.clock = self.backend.begin(thread.tid, thread.clock)
+                return
+            except ParkThread:
+                # Re-begin entirely on wake (body not started yet).
+                txn.body = None
+                txn.pending_op = "begin"
+                thread.parked = True
+                return
+            except TransactionAborted as aborted:
+                # A begin can abort (e.g. HTM with the fallback lock
+                # held); charge it like any other abort and retry.
+                self.stats.record_abort(aborted.cause)
+                thread.clock = self.backend.rollback(
+                    thread.tid, thread.clock, aborted.cause
+                )
+                thread.clock += self._backoff_ns(thread, txn.attempt)
+
+    def _step_transaction(self, thread: _Thread) -> None:
+        txn = thread.txn
+        # Resume a parked operation first.
+        if txn.pending_op == "begin":
+            txn.pending_op = None
+            txn.attempt -= 1  # _begin_attempt recounts
+            self._begin_attempt(thread)
+            return
+        if txn.pending_op is not None:
+            op = txn.pending_op
+            txn.pending_op = None
+        else:
+            try:
+                op = txn.body.send(txn.body_value)
+            except StopIteration as stop:
+                self._try_commit(thread, stop.value)
+                return
+            except TransactionAborted as aborted:  # pragma: no cover
+                self._handle_abort(thread, aborted.cause)
+                return
+        txn.body_value = None
+        try:
+            self._apply_txn_op(thread, op)
+        except ParkThread:
+            txn.pending_op = op
+            thread.parked = True
+        except TransactionAborted as aborted:
+            self._handle_abort(thread, aborted.cause)
+
+    def _apply_txn_op(self, thread: _Thread, op: Any) -> None:
+        txn = thread.txn
+        if isinstance(op, Read):
+            value, ready = self.backend.read(thread.tid, op.addr, thread.clock)
+            thread.clock = ready
+            txn.body_value = value
+        elif isinstance(op, Write):
+            thread.clock = self.backend.write(
+                thread.tid, op.addr, op.value, thread.clock
+            )
+        elif isinstance(op, Work):
+            thread.clock += op.ns * self.cost_model.compute_scale(self.n_threads)
+        elif isinstance(op, Alloc):
+            txn.body_value = self.memory.alloc(op.cells)
+            thread.clock += ALLOC_NS
+        else:
+            raise TypeError(f"transaction bodies may not yield {op!r}")
+
+    def _try_commit(self, thread: _Thread, result: Any) -> None:
+        txn = thread.txn
+        try:
+            thread.clock = self.backend.commit(thread.tid, thread.clock)
+        except ParkThread:
+            txn.pending_op = "commit:" + repr(result)
+            # Commits never park in the provided backends; keep the
+            # state machine honest if one ever does.
+            raise RuntimeError("commit must not park")
+        except TransactionAborted as aborted:
+            self._handle_abort(thread, aborted.cause)
+            return
+        self.stats.commits += 1
+        thread.txn = None
+        thread.program_value = result
+
+    def _handle_abort(self, thread: _Thread, cause: str) -> None:
+        txn = thread.txn
+        self.stats.record_abort(cause)
+        self.stats.wasted_ns += thread.clock - txn.attempt_start
+        thread.clock = self.backend.rollback(thread.tid, thread.clock, cause)
+        thread.clock += self._backoff_ns(thread, txn.attempt)
+        self._begin_attempt(thread)
+
+    def _backoff_ns(self, thread: _Thread, attempt: int) -> float:
+        model = self.cost_model
+        base = model.backoff_base_ns * (2 ** min(attempt - 1, 6))
+        jitter = 0.5 + thread.rng.random()
+        return min(base * jitter, model.backoff_cap_ns) * self.backend.backoff_scale

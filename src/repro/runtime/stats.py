@@ -1,0 +1,97 @@
+"""Run statistics: the instrumentation behind Fig. 10 and Fig. 11.
+
+Abort accounting distinguishes *where* each abort was decided, because
+the paper plots ROCoCoTM's FPGA-side aborts separately (the dotted
+lines of Fig. 10) and argues most aborts fail fast on the CPU:
+
+* ``cpu-*``   — decided on the CPU without out-of-core latency
+  (eager signature conflicts, lock conflicts, HTM conflicts/capacity);
+* ``fpga-*``  — decided by the offloaded validator (cycle,
+  window-overflow).
+
+Validation time is accrued separately so the Fig. 11 per-transaction
+validation overhead falls out of the same counters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class RunStats:
+    """Aggregated outcome of one simulated run."""
+
+    backend: str = ""
+    workload: str = ""
+    n_threads: int = 0
+
+    commits: int = 0
+    aborts_by_cause: Counter = field(default_factory=Counter)
+    read_only_commits: int = 0
+
+    #: simulated wall time: max thread clock at completion (ns).
+    makespan_ns: float = 0.0
+    #: total ns spent inside validation (waiting or computing).
+    validation_ns: float = 0.0
+    #: number of validations performed (for the Fig. 11 average).
+    validations: int = 0
+    #: total ns of useful work re-executed because of aborts.
+    wasted_ns: float = 0.0
+
+    @property
+    def aborts(self) -> int:
+        return sum(self.aborts_by_cause.values())
+
+    @property
+    def fpga_aborts(self) -> int:
+        return sum(v for k, v in self.aborts_by_cause.items() if k.startswith("fpga"))
+
+    @property
+    def attempts(self) -> int:
+        return self.commits + self.aborts
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborted / executed transactions — the Fig. 10 right axis."""
+        return self.aborts / self.attempts if self.attempts else 0.0
+
+    @property
+    def fpga_abort_rate(self) -> float:
+        return self.fpga_aborts / self.attempts if self.attempts else 0.0
+
+    @property
+    def mean_validation_us(self) -> float:
+        """Amortized per-transaction validation time (Fig. 11), us."""
+        return self.validation_ns / self.validations / 1000.0 if self.validations else 0.0
+
+    def record_abort(self, cause: str) -> None:
+        self.aborts_by_cause[cause] += 1
+
+    def summary(self) -> str:
+        causes = ", ".join(f"{k}={v}" for k, v in sorted(self.aborts_by_cause.items()))
+        return (
+            f"{self.workload}/{self.backend}@{self.n_threads}t: "
+            f"commits={self.commits} aborts={self.aborts} ({causes or 'none'}) "
+            f"abort_rate={self.abort_rate:.1%} makespan={self.makespan_ns / 1e6:.3f} ms"
+        )
+
+
+def speedup(baseline: RunStats, candidate: RunStats) -> float:
+    """Makespan ratio: how much faster *candidate* ran than *baseline*."""
+    if candidate.makespan_ns == 0:
+        raise ValueError("candidate has no recorded makespan")
+    return baseline.makespan_ns / candidate.makespan_ns
+
+
+def geomean(values) -> float:
+    import math
+
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of nothing")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,90 @@
+"""Axiom-based transactional semantics (paper section 3).
+
+The public surface of this subpackage:
+
+* :class:`Relation` — finite binary relations with the order-theoretic
+  axiom checks (irreflexive/asymmetric/transitive/total/acyclic) and
+  constructions (transitive closure, linear extension).
+* :class:`History` — multi-version transaction histories with exact
+  RAW/WAR/WAW dependency extraction.
+* Serializability — ``is_serializable`` (acyclicity), witness
+  construction, cycle explanation, serial replay oracle.
+* Strict serializability & interval orders — real-time order, the 2+2
+  obstruction, phantom-ordering enumeration.
+* Snapshot isolation — SI checker, write-skew detection,
+  per-object compositionality probes.
+* Linearizability — single-object strict serializability.
+"""
+
+from .anomalies import CATALOG, AnomalyCase, classify
+from .history import INITIAL_VERSION, Event, EventKind, History, TxnRecord, history_from_steps
+from .interval_order import (
+    Interval,
+    admissible_timestamp_orders,
+    find_two_plus_two,
+    history_real_time_intervals,
+    interval_precedence,
+    is_interval_order,
+    is_strict_serializable,
+    phantom_orderings,
+    serializable_but_not_strictly,
+)
+from .linearizability import (
+    interval_order_implies_acyclic_for_single_objects,
+    is_linearizable,
+    is_single_object_history,
+    linearization_points,
+)
+from .relations import Relation
+from .serializability import (
+    assert_serializable,
+    explain_cycle,
+    history_is_serializable,
+    is_serializable,
+    replay_serially,
+    serialization_witness,
+)
+from .snapshot import (
+    find_write_skew,
+    per_object_serializable,
+    satisfies_snapshot_isolation,
+    si_but_not_serializable,
+    write_skew_example,
+)
+
+__all__ = [
+    "AnomalyCase",
+    "CATALOG",
+    "INITIAL_VERSION",
+    "Event",
+    "EventKind",
+    "History",
+    "Interval",
+    "Relation",
+    "TxnRecord",
+    "admissible_timestamp_orders",
+    "assert_serializable",
+    "classify",
+    "explain_cycle",
+    "find_two_plus_two",
+    "find_write_skew",
+    "history_from_steps",
+    "history_is_serializable",
+    "history_real_time_intervals",
+    "interval_order_implies_acyclic_for_single_objects",
+    "interval_precedence",
+    "is_interval_order",
+    "is_linearizable",
+    "is_serializable",
+    "is_single_object_history",
+    "is_strict_serializable",
+    "linearization_points",
+    "per_object_serializable",
+    "phantom_orderings",
+    "replay_serially",
+    "satisfies_snapshot_isolation",
+    "serializable_but_not_strictly",
+    "serialization_witness",
+    "si_but_not_serializable",
+    "write_skew_example",
+]

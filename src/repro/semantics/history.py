@@ -1,0 +1,261 @@
+"""Transaction histories and the R/W-dependency relation.
+
+A *history* is an interleaved sequence of events (begin, read, write,
+commit, abort) produced by concurrent transactions.  The paper's
+concurrency-control analysis (section 3.1) reduces a history to the
+happen-before relation ``->_rw`` over committed transactions, built
+from the three classic dependency rules:
+
+* **Read-after-write** (RAW): if ``t1`` reads an object version
+  written by ``t2``, then ``t2 ->_rw t1``.
+* **Write-after-read** (WAR): if ``t1`` overwrites a version that
+  ``t2`` read, then ``t2 ->_rw t1``.
+* **Write-after-write** (WAW): if ``t1`` overwrites a version that
+  ``t2`` wrote, then ``t2 ->_rw t1``.
+
+Histories here use multi-version bookkeeping: each write creates a new
+version of its object, and each read names the version (writer) it
+observed.  This makes the dependency extraction exact rather than
+approximated from event order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .relations import Relation
+
+TxnId = int
+ObjectId = int
+
+#: The writer id used for an object's initial (pre-history) version.
+INITIAL_VERSION: TxnId = -1
+
+
+class EventKind(enum.Enum):
+    BEGIN = "begin"
+    READ = "read"
+    WRITE = "write"
+    COMMIT = "commit"
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One step of a history.
+
+    ``version`` is meaningful only for READ events: the id of the
+    transaction whose write produced the value read (or
+    :data:`INITIAL_VERSION`).
+    """
+
+    kind: EventKind
+    txn: TxnId
+    obj: Optional[ObjectId] = None
+    version: Optional[TxnId] = None
+
+
+@dataclass
+class TxnRecord:
+    """Aggregated footprint of one transaction inside a history."""
+
+    txn: TxnId
+    begin_index: Optional[int] = None
+    end_index: Optional[int] = None
+    committed: Optional[bool] = None
+    #: object -> version (writer txn) observed by the first read.
+    reads: Dict[ObjectId, TxnId] = field(default_factory=dict)
+    writes: Set[ObjectId] = field(default_factory=set)
+
+    @property
+    def read_set(self) -> Set[ObjectId]:
+        return set(self.reads)
+
+    @property
+    def write_set(self) -> Set[ObjectId]:
+        return set(self.writes)
+
+    @property
+    def is_read_only(self) -> bool:
+        return not self.writes
+
+
+class History:
+    """An append-only multi-version transaction history."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+        self._records: Dict[TxnId, TxnRecord] = {}
+        #: committed versions of each object, oldest first; implicitly
+        #: preceded by INITIAL_VERSION.
+        self._versions: Dict[ObjectId, List[TxnId]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _record(self, txn: TxnId) -> TxnRecord:
+        rec = self._records.get(txn)
+        if rec is None:
+            rec = self._records[txn] = TxnRecord(txn)
+        return rec
+
+    def begin(self, txn: TxnId) -> None:
+        rec = self._record(txn)
+        if rec.begin_index is not None:
+            raise ValueError(f"transaction {txn} already began")
+        rec.begin_index = len(self.events)
+        self.events.append(Event(EventKind.BEGIN, txn))
+
+    def read(self, txn: TxnId, obj: ObjectId, version: Optional[TxnId] = None) -> TxnId:
+        """Record a read; defaults to the latest committed version.
+
+        Returns the version observed.  Only the first read of each
+        object per transaction is retained in the footprint (later
+        reads hit the transaction's own snapshot/write buffer).
+        """
+        self._ensure_active(txn)
+        if version is None:
+            committed = self._versions.get(obj)
+            version = committed[-1] if committed else INITIAL_VERSION
+        rec = self._record(txn)
+        rec.reads.setdefault(obj, version)
+        self.events.append(Event(EventKind.READ, txn, obj, version))
+        return version
+
+    def write(self, txn: TxnId, obj: ObjectId) -> None:
+        self._ensure_active(txn)
+        self._record(txn).writes.add(obj)
+        self.events.append(Event(EventKind.WRITE, txn, obj))
+
+    def commit(self, txn: TxnId) -> None:
+        rec = self._finish(txn, committed=True)
+        for obj in sorted(rec.writes):
+            self._versions.setdefault(obj, []).append(txn)
+
+    def abort(self, txn: TxnId) -> None:
+        self._finish(txn, committed=False)
+
+    def _ensure_active(self, txn: TxnId) -> None:
+        rec = self._records.get(txn)
+        if rec is None or rec.begin_index is None:
+            raise ValueError(f"transaction {txn} has not begun")
+        if rec.committed is not None:
+            raise ValueError(f"transaction {txn} already finished")
+
+    def _finish(self, txn: TxnId, committed: bool) -> TxnRecord:
+        self._ensure_active(txn)
+        rec = self._records[txn]
+        rec.committed = committed
+        rec.end_index = len(self.events)
+        kind = EventKind.COMMIT if committed else EventKind.ABORT
+        self.events.append(Event(kind, txn))
+        return rec
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def record(self, txn: TxnId) -> TxnRecord:
+        return self._records[txn]
+
+    @property
+    def transactions(self) -> List[TxnId]:
+        return sorted(self._records)
+
+    @property
+    def committed(self) -> List[TxnId]:
+        return sorted(t for t, r in self._records.items() if r.committed)
+
+    def latest_version(self, obj: ObjectId) -> TxnId:
+        committed = self._versions.get(obj)
+        return committed[-1] if committed else INITIAL_VERSION
+
+    def version_order(self, obj: ObjectId) -> List[TxnId]:
+        """Committed versions of *obj*, oldest first, incl. the initial one."""
+        return [INITIAL_VERSION] + list(self._versions.get(obj, []))
+
+    # ------------------------------------------------------------------
+    # Dependency extraction (section 3.1)
+    # ------------------------------------------------------------------
+    def rw_dependencies(self, txns: Optional[Iterable[TxnId]] = None) -> Relation:
+        """The ``->_rw`` relation over *txns* (default: committed txns).
+
+        The relation is built exactly from the RAW/WAR/WAW rules, using
+        the per-object version order for WAW and WAR edges.
+        """
+        if txns is None:
+            chosen = set(self.committed)
+        else:
+            chosen = set(txns)
+        rel = Relation(chosen)
+
+        # RAW: reader depends on the writer of the version it observed.
+        for txn in chosen:
+            for obj, version in self._records[txn].reads.items():
+                if version in chosen and version != txn:
+                    rel.add(version, txn)
+
+        # WAW: per-object version order.
+        for obj in self._versions:
+            order = [t for t in self._versions[obj] if t in chosen]
+            for earlier, later in zip(order, order[1:]):
+                if earlier != later:
+                    rel.add(earlier, later)
+
+        # WAR: a reader of version v precedes the writer of the next
+        # version of the same object.
+        for txn in chosen:
+            for obj, version in self._records[txn].reads.items():
+                order = self.version_order(obj)
+                try:
+                    idx = order.index(version)
+                except ValueError:
+                    continue
+                for successor in order[idx + 1:]:
+                    if successor in chosen and successor != txn:
+                        rel.add(txn, successor)
+                        break
+        return rel
+
+    def real_time_order(self, txns: Optional[Iterable[TxnId]] = None) -> Relation:
+        """The ``->_rt`` relation: t1 -> t2 iff t1 ended before t2 began."""
+        chosen = set(self.committed if txns is None else txns)
+        rel = Relation(chosen)
+        for a in chosen:
+            ra = self._records[a]
+            if ra.end_index is None:
+                continue
+            for b in chosen:
+                if a == b:
+                    continue
+                rb = self._records[b]
+                if rb.begin_index is not None and ra.end_index < rb.begin_index:
+                    rel.add(a, b)
+        return rel
+
+
+def history_from_steps(steps: Iterable[Tuple]) -> History:
+    """Build a history from compact tuples, for tests and examples.
+
+    Each step is one of::
+
+        ("begin", txn)
+        ("read", txn, obj)            # reads latest committed version
+        ("read", txn, obj, version)   # reads an explicit version
+        ("write", txn, obj)
+        ("commit", txn)
+        ("abort", txn)
+    """
+    history = History()
+    dispatch = {
+        "begin": history.begin,
+        "read": history.read,
+        "write": history.write,
+        "commit": history.commit,
+        "abort": history.abort,
+    }
+    for step in steps:
+        name, *args = step
+        dispatch[name](*args)
+    return history

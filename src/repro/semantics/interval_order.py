@@ -1,0 +1,166 @@
+"""Interval orders, the 2+2 obstruction, and strict serializability.
+
+Section 3.2 uses *interval orders* to show that timestamped OCC (TOCC)
+is sufficient but **not necessary** for serializability:
+
+* Each transaction occupies an interval on the real-time axis (begin
+  to end).  The precedence of disjoint intervals is the real-time order
+  ``->_rt``.
+* By Fishburn's theorem, a strict partial order is an interval order
+  iff it contains no "2+2": two disjoint two-element chains
+  ``t1 -> t2`` and ``t3 -> t4`` with no cross relations (Fig. 3(b)).
+* Consequently any serialization mechanism whose serial order must be
+  an interval order (i.e. compatible with *some* choice of timestamps
+  taken inside each transaction's lifetime) manufactures *phantom
+  orderings*: for the two chains above, ``t1 -> t4`` (or ``t3 -> t2``)
+  is forced even though the transactions are unrelated by ``->_rw``.
+
+This module provides interval containers, the 2+2 detector, phantom
+ordering enumeration, and the strict-serializability check
+(serializable + witness compatible with real time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .history import History, TxnId
+from .relations import Relation
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A transaction's lifetime on the real-time axis."""
+
+    start: float
+    end: float
+    label: Hashable = None
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ValueError(f"interval ends before it starts: {self}")
+
+    def precedes(self, other: "Interval") -> bool:
+        """Strict left-to-right precedence (no overlap)."""
+        return self.end < other.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        return not self.precedes(other) and not other.precedes(self)
+
+
+def interval_precedence(intervals: Iterable[Interval]) -> Relation:
+    """The real-time order induced by a set of intervals."""
+    items = list(intervals)
+    rel = Relation(iv.label for iv in items)
+    for a in items:
+        for b in items:
+            if a is not b and a.precedes(b):
+                rel.add(a.label, b.label)
+    return rel
+
+
+def find_two_plus_two(rel: Relation) -> Optional[Tuple]:
+    """Find a 2+2 sub-order: the obstruction of Fig. 3(b).
+
+    Returns ``(t1, t2, t3, t4)`` with ``t1 -> t2``, ``t3 -> t4`` and
+    all four cross-pairs unrelated, or None.  By Fishburn's theorem a
+    strict partial order is an interval order iff this returns None.
+    """
+    pairs = list(rel.pairs())
+    for i, (a, b) in enumerate(pairs):
+        for c, d in pairs[i + 1:]:
+            if len({a, b, c, d}) != 4:
+                continue
+            if (
+                rel.concurrent(a, d)
+                and rel.concurrent(c, b)
+                and rel.concurrent(a, c)
+                and rel.concurrent(b, d)
+            ):
+                return (a, b, c, d)
+    return None
+
+
+def is_interval_order(rel: Relation) -> bool:
+    """True iff *rel* is a strict partial order with no 2+2 sub-order."""
+    return rel.is_strict_partial_order() and find_two_plus_two(rel) is None
+
+
+def phantom_orderings(rw: Relation, rt: Relation) -> Set[Tuple]:
+    """Orderings forced by real time but absent from ``->_rw``.
+
+    These are exactly the pairs a TOCC-style validator must respect
+    even though no data dependency requires them — the restriction the
+    ROCoCo algorithm removes (section 3.1).
+    """
+    return {(a, b) for a, b in rt.pairs() if not rw.transitive_closure().related(a, b)}
+
+
+def is_strict_serializable(rw: Relation, rt: Relation) -> bool:
+    """Serializable with a witness compatible with real time.
+
+    ``(T, ->)`` is strict serializable iff the union of the dependency
+    relation and the real-time order is still acyclic (Herlihy & Wing):
+    some serial order then extends both.
+    """
+    union = rw.copy()
+    for a, b in rt.pairs():
+        union.add(a, b)
+    return union.is_acyclic()
+
+
+def serializable_but_not_strictly(rw: Relation, rt: Relation) -> bool:
+    """The gap TOCC cannot exploit: serializable yet not strict.
+
+    Fig. 2(b) of the paper is exactly such a case; any algorithm in
+    this gap must reorder transactions against real time, which
+    timestamps forbid.
+    """
+    return rw.is_acyclic() and not is_strict_serializable(rw, rt)
+
+
+def history_real_time_intervals(history: History) -> List[Interval]:
+    """Intervals (by event index) of a history's committed txns."""
+    intervals = []
+    for txn in history.committed:
+        rec = history.record(txn)
+        intervals.append(Interval(rec.begin_index, rec.end_index, label=txn))
+    return intervals
+
+
+def admissible_timestamp_orders(
+    rw: Relation, intervals: Sequence[Interval]
+) -> List[Tuple[TxnId, ...]]:
+    """All serial orders achievable by *any* timestamping scheme.
+
+    A timestamp scheme picks one point inside each transaction's
+    interval; the serial order is the order of points.  An order of the
+    labels is achievable iff consecutive elements never require a point
+    of a later-ending interval to precede a point of an earlier-starting
+    disjoint interval, i.e. iff the order linearizes the interval
+    precedence relation.  Among those we keep the ones compatible with
+    ``->_rw`` — what TOCC could conceivably commit.
+
+    Exponential in len(intervals); intended for the small counter-example
+    traces of section 3 and the test-suite.
+    """
+    labels = [iv.label for iv in intervals]
+    by_label: Dict[Hashable, Interval] = {iv.label: iv for iv in intervals}
+    rt = interval_precedence(intervals)
+    admissible = []
+    closure = rw.transitive_closure()
+    for perm in permutations(labels):
+        ok = True
+        for i, a in enumerate(perm):
+            for b in perm[i + 1:]:
+                # b follows a: forbidden if b really precedes a.
+                if rt.related(b, a) or closure.related(b, a):
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            admissible.append(perm)
+    return admissible

@@ -1,0 +1,283 @@
+"""Finite binary relations and order-theoretic axioms.
+
+This module is the foundation of the paper's axiom-based transactional
+semantics (section 3.2).  A semantics is defined by the axioms that the
+read/write-dependency relation of a transaction set must satisfy; this
+module provides the relation data type and the axiom checks
+(irreflexivity, asymmetry, transitivity, totality, acyclicity) together
+with the constructions used in proofs (transitive closure, linear
+extension, restriction).
+
+Elements may be any hashable values; transactions in the rest of the
+code base are identified by integers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+Element = Hashable
+Pair = Tuple[Element, Element]
+
+
+class Relation:
+    """A binary relation over an explicit finite carrier set.
+
+    The carrier is explicit (rather than implied by the pairs) because
+    order-theoretic properties such as totality and the existence of
+    linear extensions depend on which unrelated elements exist.
+    """
+
+    def __init__(self, elements: Iterable[Element] = (), pairs: Iterable[Pair] = ()):
+        self._elements: Set[Element] = set(elements)
+        self._successors: Dict[Element, Set[Element]] = {}
+        for a, b in pairs:
+            self.add(a, b)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_element(self, element: Element) -> None:
+        """Add *element* to the carrier set (idempotent)."""
+        self._elements.add(element)
+
+    def add(self, a: Element, b: Element) -> None:
+        """Relate ``a -> b``, adding both elements to the carrier."""
+        self._elements.add(a)
+        self._elements.add(b)
+        self._successors.setdefault(a, set()).add(b)
+
+    def discard(self, a: Element, b: Element) -> None:
+        """Remove the pair ``a -> b`` if present."""
+        succ = self._successors.get(a)
+        if succ is not None:
+            succ.discard(b)
+            if not succ:
+                del self._successors[a]
+
+    def copy(self) -> "Relation":
+        other = Relation(self._elements)
+        for a, succ in self._successors.items():
+            other._successors[a] = set(succ)
+        return other
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def elements(self) -> FrozenSet[Element]:
+        return frozenset(self._elements)
+
+    def related(self, a: Element, b: Element) -> bool:
+        """True iff ``a -> b`` is in the relation."""
+        return b in self._successors.get(a, ())
+
+    def concurrent(self, a: Element, b: Element) -> bool:
+        """True iff *a* and *b* are unrelated in both directions.
+
+        This is the paper's ``t1 ~ t2`` notation for concurrency
+        (section 3.2, nomenclature).
+        """
+        return not self.related(a, b) and not self.related(b, a)
+
+    def successors(self, a: Element) -> FrozenSet[Element]:
+        return frozenset(self._successors.get(a, ()))
+
+    def predecessors(self, a: Element) -> FrozenSet[Element]:
+        return frozenset(x for x, succ in self._successors.items() if a in succ)
+
+    def pairs(self) -> Iterator[Pair]:
+        for a, succ in self._successors.items():
+            for b in succ:
+                yield (a, b)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._successors.values())
+
+    def __contains__(self, pair: Pair) -> bool:
+        a, b = pair
+        return self.related(a, b)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._elements == other._elements and set(self.pairs()) == set(other.pairs())
+
+    def __hash__(self):  # pragma: no cover - relations are mutable
+        raise TypeError("Relation is unhashable (mutable)")
+
+    def __repr__(self) -> str:
+        pairs = sorted(self.pairs(), key=repr)
+        return f"Relation(elements={sorted(self._elements, key=repr)!r}, pairs={pairs!r})"
+
+    # ------------------------------------------------------------------
+    # Axioms (section 3.2)
+    # ------------------------------------------------------------------
+    def is_irreflexive(self) -> bool:
+        """No element is related to itself."""
+        return all(a not in succ for a, succ in self._successors.items())
+
+    def is_asymmetric(self) -> bool:
+        """``a -> b`` forbids ``b -> a`` (implies irreflexivity)."""
+        for a, b in self.pairs():
+            if self.related(b, a):
+                return False
+        return True
+
+    def is_transitive(self) -> bool:
+        """``a -> b`` and ``b -> c`` imply ``a -> c``."""
+        for a, succ in self._successors.items():
+            for b in succ:
+                for c in self._successors.get(b, ()):
+                    if not self.related(a, c):
+                        return False
+        return True
+
+    def is_total(self) -> bool:
+        """Every pair of distinct elements is related one way or another."""
+        elems = list(self._elements)
+        for i, a in enumerate(elems):
+            for b in elems[i + 1:]:
+                if self.concurrent(a, b):
+                    return False
+        return True
+
+    def is_strict_partial_order(self) -> bool:
+        """Irreflexive, asymmetric and transitive (section 3.2)."""
+        return self.is_irreflexive() and self.is_asymmetric() and self.is_transitive()
+
+    def is_strict_total_order(self) -> bool:
+        """A strict partial order that is also total (a linear order)."""
+        return self.is_strict_partial_order() and self.is_total()
+
+    def is_acyclic(self) -> bool:
+        """True iff the relation, viewed as a digraph, has no cycle.
+
+        Acyclicity is the paper's if-and-only-if axiom for
+        serializability (section 3.2).  Self-loops count as cycles.
+        """
+        state: Dict[Element, int] = {}
+        for root in self._elements:
+            if state.get(root, 0):
+                continue
+            stack: List[Tuple[Element, Iterator[Element]]] = [
+                (root, iter(self._successors.get(root, ())))
+            ]
+            state[root] = 1
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    mark = state.get(nxt, 0)
+                    if mark == 1:
+                        return False
+                    if mark == 0:
+                        state[nxt] = 1
+                        stack.append((nxt, iter(self._successors.get(nxt, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    state[node] = 2
+                    stack.pop()
+        return True
+
+    # ------------------------------------------------------------------
+    # Constructions
+    # ------------------------------------------------------------------
+    def transitive_closure(self) -> "Relation":
+        """The smallest transitive relation containing this one.
+
+        Matches the paper's iterative definition of the reachability
+        relation (section 4.1): BFS from every element.
+        """
+        closure = Relation(self._elements)
+        for source in self._elements:
+            seen: Set[Element] = set()
+            frontier = deque(self._successors.get(source, ()))
+            while frontier:
+                node = frontier.popleft()
+                if node in seen:
+                    continue
+                seen.add(node)
+                frontier.extend(self._successors.get(node, ()))
+            for target in seen:
+                closure.add(source, target)
+        return closure
+
+    def extends(self, other: "Relation") -> bool:
+        """True iff this relation contains every pair of *other*.
+
+        The paper writes this as ``(T, ->) subseteq (T, ->_s)``: the
+        stronger relation preserves every ordering of the weaker one.
+        """
+        if not other._elements <= self._elements:
+            return False
+        return all(self.related(a, b) for a, b in other.pairs())
+
+    def topological_order(self) -> Optional[List[Element]]:
+        """A linear extension witness, or None if the relation is cyclic.
+
+        This is the constructive half of the paper's proof that
+        acyclicity implies serializability: iteratively remove a minimal
+        element (Kahn's algorithm).  Ties are broken deterministically
+        by ``repr`` so results are reproducible.
+        """
+        indegree: Dict[Element, int] = {e: 0 for e in self._elements}
+        for _, b in self.pairs():
+            indegree[b] += 1
+        ready = sorted((e for e, d in indegree.items() if d == 0), key=repr)
+        order: List[Element] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            inserted = False
+            for nxt in sorted(self._successors.get(node, ()), key=repr):
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+                    inserted = True
+            if inserted:
+                ready.sort(key=repr)
+        if len(order) != len(self._elements):
+            return None
+        return order
+
+    def linear_extension(self) -> Optional["Relation"]:
+        """A strict total order extending this relation, if one exists.
+
+        By the order-extension principle a linear extension exists iff
+        the relation is acyclic (for finite carriers).  Returns None for
+        cyclic relations.
+        """
+        order = self.topological_order()
+        if order is None:
+            return None
+        total = Relation(self._elements)
+        for i, a in enumerate(order):
+            for b in order[i + 1:]:
+                total.add(a, b)
+        return total
+
+    def restrict(self, keep: Iterable[Element]) -> "Relation":
+        """The relation restricted to the carrier subset *keep*.
+
+        Used to express an OCC validator's output: the committed subset
+        ``T_c`` with its induced dependencies.
+        """
+        keep_set = set(keep)
+        sub = Relation(keep_set & self._elements)
+        for a, b in self.pairs():
+            if a in keep_set and b in keep_set:
+                sub.add(a, b)
+        return sub
+
+    @classmethod
+    def from_order(cls, sequence: Iterable[Element]) -> "Relation":
+        """The strict total order induced by a sequence (first = least)."""
+        seq = list(sequence)
+        rel = cls(seq)
+        for i, a in enumerate(seq):
+            for b in seq[i + 1:]:
+                rel.add(a, b)
+        return rel

@@ -1,0 +1,161 @@
+"""Snapshot isolation, write skew, and compositionality.
+
+Section 2.1 of the paper motivates the axiom-based formalization with
+the *write-skew* anomaly (Fig. 1): under the common interpretation of
+isolation — "state changes made by others after T begins are not
+visible to T" — two transactions that read both objects and each write
+one of them both commit, a result no serial execution can produce.
+
+This module checks a history for the two SI conditions and detects
+write skew, plus a compositionality probe used in tests to demonstrate
+that SI composes per-object while serializability does not
+(section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from .history import INITIAL_VERSION, History, TxnId
+from .relations import Relation
+from .serializability import history_is_serializable
+
+
+def satisfies_snapshot_isolation(history: History) -> bool:
+    """True iff every committed txn behaves like SI prescribes.
+
+    Two conditions are checked on the recorded footprints:
+
+    1. **Snapshot reads** — every read observes the version committed
+       by the latest transaction that ended before the reader began
+       (or the reader's own earlier write, which footprints elide).
+    2. **First-committer-wins** — no two committed transactions with
+       overlapping lifetimes write the same object.
+    """
+    committed = history.committed
+    records = {t: history.record(t) for t in committed}
+
+    for txn in committed:
+        rec = records[txn]
+        for obj, seen in rec.reads.items():
+            expected = _snapshot_version(history, txn, obj)
+            if seen != expected:
+                return False
+
+    for i, a in enumerate(committed):
+        for b in committed[i + 1:]:
+            if _lifetimes_overlap(history, a, b) and (
+                records[a].writes & records[b].writes
+            ):
+                return False
+    return True
+
+
+def _snapshot_version(history: History, reader: TxnId, obj: int) -> TxnId:
+    """Latest version of *obj* committed before *reader* began."""
+    begin = history.record(reader).begin_index
+    best = INITIAL_VERSION
+    best_end = -1
+    for writer in history.version_order(obj)[1:]:
+        rec = history.record(writer)
+        if rec.end_index is not None and rec.end_index < begin and rec.end_index > best_end:
+            best, best_end = writer, rec.end_index
+    return best
+
+
+def _lifetimes_overlap(history: History, a: TxnId, b: TxnId) -> bool:
+    ra, rb = history.record(a), history.record(b)
+    return not (ra.end_index < rb.begin_index or rb.end_index < ra.begin_index)
+
+
+def find_write_skew(history: History) -> Optional[Tuple[TxnId, TxnId]]:
+    """A pair of committed txns exhibiting write skew, or None.
+
+    Write skew: two concurrent transactions with disjoint write sets
+    where each reads an object the other writes — admissible under SI,
+    forbidden under serializability (it creates a WAR/WAR cycle).
+    """
+    committed = history.committed
+    for i, a in enumerate(committed):
+        ra = history.record(a)
+        for b in committed[i + 1:]:
+            rb = history.record(b)
+            if not _lifetimes_overlap(history, a, b):
+                continue
+            if ra.writes & rb.writes:
+                continue
+            if (ra.read_set & rb.writes) and (rb.read_set & ra.writes):
+                return (a, b)
+    return None
+
+
+def si_but_not_serializable(history: History) -> bool:
+    """The Fig. 1 situation: SI admits it, serializability does not."""
+    return satisfies_snapshot_isolation(history) and not history_is_serializable(history)
+
+
+def per_object_serializable(history: History, objects: Iterable[int]) -> bool:
+    """Serializability of each object's projection, taken alone.
+
+    Demonstrates non-compositionality (section 2.2 / Fig. 1): each
+    single-object projection of the write-skew history is acyclic, yet
+    the composed history is not.  A projection keeps only the reads and
+    writes touching one object.
+    """
+    for obj in objects:
+        rel = _object_projection(history, obj)
+        if not rel.is_acyclic():
+            return False
+    return True
+
+
+def _object_projection(history: History, obj: int) -> Relation:
+    committed = set(history.committed)
+    rel = Relation(
+        t
+        for t in committed
+        if obj in history.record(t).reads or obj in history.record(t).writes
+    )
+
+    order = [t for t in history.version_order(obj) if t in committed]
+    for earlier, later in zip(order, order[1:]):
+        rel.add(earlier, later)
+
+    full_order = history.version_order(obj)
+    for txn in committed:
+        rec = history.record(txn)
+        if obj in rec.reads:
+            seen = rec.reads[obj]
+            if seen in committed and seen != txn:
+                rel.add(seen, txn)
+            try:
+                idx = full_order.index(seen)
+            except ValueError:
+                continue
+            for successor in full_order[idx + 1:]:
+                if successor in committed and successor != txn:
+                    rel.add(txn, successor)
+                    break
+    return rel
+
+
+def write_skew_example() -> History:
+    """The canonical Fig. 1 history, ready for demos and tests.
+
+    Threads 1 and 2 each read both x and y (objects 0 and 1) from the
+    initial snapshot, then thread 1 writes x and thread 2 writes y,
+    and both commit.
+    """
+    history = History()
+    x, y = 0, 1
+    history.begin(1)
+    history.begin(2)
+    history.read(1, x)
+    history.read(1, y)
+    history.read(2, x)
+    history.read(2, y)
+    history.write(1, x)
+    history.write(2, y)
+    history.commit(1)
+    history.commit(2)
+    return history

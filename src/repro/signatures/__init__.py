@@ -1,0 +1,36 @@
+"""Parallel bloom-filter signatures and their probabilistic model (§5.2).
+
+* :class:`SignatureConfig` / :class:`BloomSignature` — partitioned
+  bloom filters over multiply-shift hashing; insert/query/union/
+  intersection, all bit-wise.
+* :mod:`analysis <repro.signatures.analysis>` — the Jeffrey & Steffan
+  closed forms for query and intersection false positivity (Fig. 7),
+  plus Monte-Carlo measurement of the real implementation.
+"""
+
+from .analysis import (
+    bit_occupancy,
+    figure7_rows,
+    intersection_false_positive,
+    measure_intersection_false_positive,
+    measure_query_false_positive,
+    query_false_positive,
+)
+from .bloom import DEFAULT_BITS, DEFAULT_PARTITIONS, BloomSignature, SignatureConfig
+from .hashing import WORD_BITS, MultiplyShiftHash, hash_family
+
+__all__ = [
+    "DEFAULT_BITS",
+    "DEFAULT_PARTITIONS",
+    "BloomSignature",
+    "MultiplyShiftHash",
+    "SignatureConfig",
+    "WORD_BITS",
+    "bit_occupancy",
+    "figure7_rows",
+    "hash_family",
+    "intersection_false_positive",
+    "measure_intersection_false_positive",
+    "measure_query_false_positive",
+    "query_false_positive",
+]

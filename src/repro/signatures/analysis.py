@@ -1,0 +1,122 @@
+"""Probabilistic false-positivity model for signatures (Fig. 7).
+
+The paper sizes its signatures with the established model of Jeffrey &
+Steffan ("Understanding bloom filter intersection for lazy address-set
+disambiguation", SPAA 2011).  For a partitioned filter with ``k``
+partitions of ``m/k`` bits holding ``n`` random elements:
+
+* per-bit occupancy of one partition:
+  ``p(n) = 1 - (1 - k/m)^n``;
+* **query false positive** (an absent element appears present):
+  ``P_query = p(n)^k`` — all k partition bits happen to be set;
+* **intersection false set-overlap** (two *disjoint* sets' signatures
+  pass the overlap test): a real shared element marks one bit per
+  partition in both signatures, so the test requires a common bit in
+  *every* partition.  Within one partition each of the ``m/k`` bits is
+  set in both signatures with probability ``p(n_a) * p(n_b)``
+  (independent filters), hence
+
+  ``P_intersect = (1 - (1 - p(n_a) p(n_b))^(m/k))^k``.
+
+The headline of Fig. 7(b): intersection false positives rise *much*
+faster with n than query false positives, which is why ROCoCoTM only
+intersects signatures of at most 8 addresses (one cacheline's worth)
+and sub-divides larger read sets (§5.3).
+
+The Monte-Carlo counterparts here validate the closed forms against
+the actual :class:`BloomSignature` implementation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Tuple
+
+from .bloom import BloomSignature, SignatureConfig
+
+
+def bit_occupancy(n: int, bits: int, partitions: int) -> float:
+    """Probability a given bit of one partition is set after n inserts."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return 1.0 - (1.0 - partitions / bits) ** n
+
+
+def query_false_positive(n: int, bits: int, partitions: int) -> float:
+    """P(query says present | element absent) after n inserts."""
+    return bit_occupancy(n, bits, partitions) ** partitions
+
+
+def intersection_false_positive(
+    n_a: int, n_b: int, bits: int, partitions: int
+) -> float:
+    """P(two disjoint sets' signatures pass the overlap test)."""
+    p_a = bit_occupancy(n_a, bits, partitions)
+    p_b = bit_occupancy(n_b, bits, partitions)
+    per_bit_both = p_a * p_b
+    per_partition = 1.0 - (1.0 - per_bit_both) ** (bits // partitions)
+    return per_partition ** partitions
+
+
+def measure_query_false_positive(
+    n: int,
+    config: SignatureConfig,
+    trials: int = 2000,
+    seed: int = 0,
+    universe: int = 1 << 48,
+) -> float:
+    """Monte-Carlo query FP rate of the real implementation."""
+    rng = random.Random(seed)
+    hits = 0
+    for _ in range(trials):
+        members = [rng.randrange(universe) for _ in range(n)]
+        sig = config.of(members)
+        probe = rng.randrange(universe)
+        while probe in members:
+            probe = rng.randrange(universe)
+        if sig.query(probe):
+            hits += 1
+    return hits / trials
+
+
+def measure_intersection_false_positive(
+    n_a: int,
+    n_b: int,
+    config: SignatureConfig,
+    trials: int = 2000,
+    seed: int = 0,
+    universe: int = 1 << 48,
+) -> float:
+    """Monte-Carlo false set-overlap rate of the real implementation."""
+    rng = random.Random(seed)
+    hits = 0
+    for _ in range(trials):
+        set_a = {rng.randrange(universe) for _ in range(n_a)}
+        set_b = set()
+        while len(set_b) < n_b:
+            candidate = rng.randrange(universe)
+            if candidate not in set_a:
+                set_b.add(candidate)
+        if config.of(set_a).intersects(config.of(set_b)):
+            hits += 1
+    return hits / trials
+
+
+def figure7_rows(
+    configurations: Iterable[Tuple[int, int]] = ((256, 4), (512, 4), (512, 8), (1024, 8)),
+    max_elements: int = 32,
+) -> List[dict]:
+    """The analytic series behind Fig. 7: one row per (m, k, n)."""
+    rows = []
+    for bits, partitions in configurations:
+        for n in range(1, max_elements + 1):
+            rows.append(
+                {
+                    "m": bits,
+                    "k": partitions,
+                    "n": n,
+                    "query_fp": query_false_positive(n, bits, partitions),
+                    "intersect_fp": intersection_false_positive(n, n, bits, partitions),
+                }
+            )
+    return rows

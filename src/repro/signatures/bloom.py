@@ -1,0 +1,148 @@
+"""Parallel (partitioned) bloom-filter signatures (§5.2, Fig. 7(a)).
+
+A signature summarizes an unbounded address set in ``m`` bits split
+into ``k`` partitions of ``m/k`` bits; each partition has its own hash
+lane and receives exactly one bit per inserted element.  Supported
+operations — insertion, membership query, set union, set intersection
+— are all bit-wise, which is what makes them single-cycle on the FPGA
+and a handful of AVX2 instructions on the CPU.
+
+ROCoCoTM's configuration is ``m = 512``: one CPU cacheline, so a
+signature ships to the FPGA in a single CCI transfer, and
+"coincidentally" also exactly eight 64-bit addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .hashing import MultiplyShiftHash, hash_family
+
+DEFAULT_BITS = 512
+DEFAULT_PARTITIONS = 4
+
+
+class SignatureConfig:
+    """Shared (m, k, hash family) configuration for compatible signatures."""
+
+    __slots__ = ("bits", "partitions", "partition_bits", "hashes")
+
+    def __init__(
+        self,
+        bits: int = DEFAULT_BITS,
+        partitions: int = DEFAULT_PARTITIONS,
+        seed: int = 0x5EED,
+    ):
+        if bits < 1 or partitions < 1:
+            raise ValueError("bits and partitions must be positive")
+        if bits % partitions:
+            raise ValueError("partitions must evenly divide bits")
+        partition_bits = bits // partitions
+        if partition_bits & (partition_bits - 1):
+            raise ValueError("partition size must be a power of two (hash range)")
+        self.bits = bits
+        self.partitions = partitions
+        self.partition_bits = partition_bits
+        self.hashes = hash_family(partitions, partition_bits.bit_length() - 1, seed)
+
+    def bit_positions(self, element: int) -> List[int]:
+        """The k global bit positions of *element* (one per partition)."""
+        width = self.partition_bits
+        return [i * width + h(element) for i, h in enumerate(self.hashes)]
+
+    def new(self) -> "BloomSignature":
+        return BloomSignature(self)
+
+    def of(self, elements: Iterable[int]) -> "BloomSignature":
+        sig = self.new()
+        for element in elements:
+            sig.insert(element)
+        return sig
+
+
+class BloomSignature:
+    """One m-bit signature; bits held in a single Python int."""
+
+    __slots__ = ("config", "raw")
+
+    def __init__(self, config: SignatureConfig, raw: int = 0):
+        self.config = config
+        self.raw = raw
+
+    # ------------------------------------------------------------------
+    def insert(self, element: int) -> None:
+        for pos in self.config.bit_positions(element):
+            self.raw |= 1 << pos
+
+    def query(self, element: int) -> bool:
+        """Membership test: no false negatives, tunable false positives."""
+        raw = self.raw
+        return all(raw >> pos & 1 for pos in self.config.bit_positions(element))
+
+    def is_empty(self) -> bool:
+        return self.raw == 0
+
+    def clear(self) -> None:
+        self.raw = 0
+
+    # ------------------------------------------------------------------
+    def union(self, other: "BloomSignature") -> "BloomSignature":
+        self._compatible(other)
+        return BloomSignature(self.config, self.raw | other.raw)
+
+    def unite(self, other: "BloomSignature") -> None:
+        """In-place union (the paper's ``TempSet.unite``)."""
+        self._compatible(other)
+        self.raw |= other.raw
+
+    def intersect(self, other: "BloomSignature") -> "BloomSignature":
+        self._compatible(other)
+        return BloomSignature(self.config, self.raw & other.raw)
+
+    def intersects(self, other: "BloomSignature") -> bool:
+        """Set-overlap test — the operation whose false positivity
+        Fig. 7(b) analyses.
+
+        A shared element sets one bit per partition in *both*
+        signatures, so the AND of the signatures must be non-zero in
+        **every** partition; requiring all k partitions (rather than a
+        bare non-zero AND) is what makes partitioned filters usable for
+        intersection at all.  Sound: returns True for any real overlap;
+        may return True spuriously.
+        """
+        self._compatible(other)
+        both = self.raw & other.raw
+        if both == 0:
+            return False
+        width = self.config.partition_bits
+        mask = (1 << width) - 1
+        for _ in range(self.config.partitions):
+            if both & mask == 0:
+                return False
+            both >>= width
+        return True
+
+    def copy(self) -> "BloomSignature":
+        return BloomSignature(self.config, self.raw)
+
+    def _compatible(self, other: "BloomSignature") -> None:
+        if self.config is not other.config:
+            raise ValueError("signatures from different configurations")
+
+    # ------------------------------------------------------------------
+    def popcount(self) -> int:
+        return self.raw.bit_count()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BloomSignature):
+            return NotImplemented
+        return self.config is other.config and self.raw == other.raw
+
+    def __hash__(self) -> int:
+        return hash((id(self.config), self.raw))
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomSignature(m={self.config.bits}, k={self.config.partitions},"
+            f" popcount={self.popcount()})"
+        )

@@ -1,0 +1,59 @@
+"""Python ports of the STAMP applications (§6.2-6.3).
+
+The seven evaluated applications are in :data:`ALL_WORKLOADS`; bayes
+(:data:`EXTRA_WORKLOADS`) completes the suite but stays out of the
+Fig. 10 harness, as in the paper.  Each module
+documents its transaction shape and how the port preserves it; inputs
+are synthetic and scaled (see DESIGN.md's substitution table).
+
+Use :func:`run_stamp` to execute one (application, backend, threads)
+cell with verification, or iterate :data:`ALL_WORKLOADS`.
+"""
+
+from .bayes import BayesWorkload
+from .common import StampWorkload, drive_direct, run_stamp
+from .genome import GenomeWorkload
+from .intruder import IntruderWorkload
+from .kmeans import KmeansWorkload
+from .labyrinth import LabyrinthWorkload
+from .ssca2 import Ssca2Workload
+from .vacation import VacationWorkload
+from .variants import KmeansLowWorkload, VacationHighWorkload
+from .yada import YadaWorkload
+
+#: The seven configurations the paper evaluates (Fig. 10).
+ALL_WORKLOADS = (
+    GenomeWorkload,
+    IntruderWorkload,
+    KmeansWorkload,
+    LabyrinthWorkload,
+    Ssca2Workload,
+    VacationWorkload,
+    YadaWorkload,
+)
+
+#: STAMP's alternative contention configurations (not in Fig. 10).
+CONTENTION_VARIANTS = (KmeansLowWorkload, VacationHighWorkload)
+
+#: bayes completes the suite but is excluded from the Fig. 10 harness,
+#: exactly as the paper excludes it "due to its high variability".
+EXTRA_WORKLOADS = (BayesWorkload,)
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "BayesWorkload",
+    "CONTENTION_VARIANTS",
+    "EXTRA_WORKLOADS",
+    "GenomeWorkload",
+    "IntruderWorkload",
+    "KmeansLowWorkload",
+    "KmeansWorkload",
+    "LabyrinthWorkload",
+    "Ssca2Workload",
+    "StampWorkload",
+    "VacationHighWorkload",
+    "VacationWorkload",
+    "YadaWorkload",
+    "drive_direct",
+    "run_stamp",
+]

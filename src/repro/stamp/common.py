@@ -1,0 +1,112 @@
+"""Shared infrastructure for the STAMP application ports.
+
+Each application is a :class:`StampWorkload`: construction builds the
+shared data structures and input data (the non-transactional setup
+phase of the original C program), ``program(tid, n_threads)`` yields
+one thread's work, and ``verify()`` asserts application-level
+invariants against final memory — the oracle that catches any
+atomicity violation a backend might commit.
+
+Substitution note (see DESIGN.md): inputs are synthetic and scaled by
+``scale`` so a simulated run takes seconds, preserving each
+application's transaction *shape* — length, read/write-set sizes,
+read-only fraction, contention pattern — which is what the paper's
+analysis of Fig. 10 relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Generator, List, Optional, Type
+
+from ..runtime import CostModel, Memory, RunStats, Simulator, TMBackend
+
+
+def drive_direct(memory, gen) -> object:
+    """Run a txlib generator directly against memory (setup phase).
+
+    Returns the generator's return value.  Only Read/Write/Alloc ops
+    are meaningful outside a transaction.
+    """
+    from ..runtime.api import Alloc, Read, Write
+
+    try:
+        op = next(gen)
+        while True:
+            if isinstance(op, Read):
+                op = gen.send(memory.load(op.addr))
+            elif isinstance(op, Write):
+                memory.store(op.addr, op.value)
+                op = gen.send(None)
+            elif isinstance(op, Alloc):
+                op = gen.send(memory.alloc(op.cells))
+            else:  # pragma: no cover
+                raise TypeError(f"unexpected op in direct drive: {op!r}")
+    except StopIteration as stop:
+        return stop.value
+
+
+class StampWorkload:
+    """Base class; subclasses define name, setup, program, verify."""
+
+    name = "abstract"
+    #: descriptive transaction profile, used in docs and reports.
+    profile = ""
+
+    def __init__(self, memory: Memory, n_threads: int, scale: float = 1.0, seed: int = 0):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.memory = memory
+        self.n_threads = n_threads
+        self.scale = scale
+        self.seed = seed
+        # Deterministic across processes: Python's str hash is salted,
+        # which would make workload inputs differ run-to-run.
+        name_tag = sum(ord(ch) * 131 ** i for i, ch in enumerate(self.name))
+        self.rng = random.Random((seed << 8) ^ (name_tag % 997))
+        self.setup()
+
+    # -- subclass interface --------------------------------------------
+    def setup(self) -> None:
+        raise NotImplementedError
+
+    def program(self, tid: int) -> Generator:
+        raise NotImplementedError
+
+    def verify(self) -> None:
+        """Assert final-state invariants (raises AssertionError)."""
+        raise NotImplementedError
+
+    # -- helpers ---------------------------------------------------------
+    def scaled(self, n: int, minimum: int = 1) -> int:
+        return max(minimum, round(n * self.scale))
+
+    def partition(self, items: List, tid: int) -> List:
+        """Static round-robin partition of *items* for thread *tid*."""
+        return items[tid :: self.n_threads]
+
+
+def run_stamp(
+    workload_cls: Type[StampWorkload],
+    backend: TMBackend,
+    n_threads: int,
+    scale: float = 1.0,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+    verify: bool = True,
+) -> RunStats:
+    """Build, run and verify one (application, backend, threads) cell."""
+    memory = Memory()
+    workload = workload_cls(memory, n_threads, scale=scale, seed=seed)
+    simulator = Simulator(
+        backend,
+        n_threads,
+        memory=memory,
+        cost_model=cost_model,
+        seed=seed,
+        workload_name=workload.name,
+    )
+    stats = simulator.run([workload.program] * n_threads)
+    if verify:
+        workload.verify()
+    return stats

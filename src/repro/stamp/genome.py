@@ -1,0 +1,104 @@
+"""genome — gene sequencing by segment deduplication and overlap linking.
+
+Transaction shape (as in STAMP): phase 1 inserts DNA segments into a
+shared hash set (dedup — short insert transactions, many of which find
+the segment already present and commit with an *empty write set*, the
+CPU-side fast path §6.3 credits for genome); phase 2 links unique
+segments into chains by matching suffix against prefix through a
+shared match table (lookup-heavy transactions, again many read-only
+when the probed overlap does not exist).
+
+Input: a synthetic genome string over a 4-letter alphabet, cut into
+overlapping fixed-length segments with duplicates, exactly like the
+original's generator.  Segments are int-encoded (2 bits/base).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ..runtime import AwaitBarrier, SimBarrier, Transaction, Work
+from ..txlib import THashMap, THashSet
+from .common import StampWorkload
+
+GENOME_LENGTH = 512
+SEGMENT_LENGTH = 8
+DUPLICATION = 3          # each position sampled ~3x -> ~67% dup inserts
+COMPUTE_NS = 300.0
+
+
+def _encode(bases: List[int]) -> int:
+    """2-bit pack a base list into an int segment id."""
+    value = 0
+    for base in bases:
+        value = value << 2 | base
+    return value
+
+
+class GenomeWorkload(StampWorkload):
+    name = "genome"
+    profile = "dedup inserts (many empty-write commits) + lookup-heavy linking"
+
+    def setup(self) -> None:
+        length = self.scaled(GENOME_LENGTH, minimum=SEGMENT_LENGTH * 4)
+        self.genome = [self.rng.randrange(4) for _ in range(length)]
+        n_positions = length - SEGMENT_LENGTH + 1
+        # Overlapping segments, duplicated and shuffled (sequencer reads).
+        positions = [
+            self.rng.randrange(n_positions) for _ in range(n_positions * DUPLICATION)
+        ]
+        self.segments = [
+            _encode(self.genome[p : p + SEGMENT_LENGTH]) for p in positions
+        ]
+        self.rng.shuffle(self.segments)
+
+        self.unique = THashSet(self.memory, n_buckets=256)
+        #: suffix(SEGMENT_LENGTH-1 bases) -> encoded segment
+        self.by_prefix = THashMap(self.memory, n_buckets=256)
+        self.links = THashMap(self.memory, n_buckets=256)
+        self.barrier = SimBarrier(self.n_threads)
+
+    # ------------------------------------------------------------------
+    def _dedup_body(self, segment: int):
+        def body():
+            added = yield from self.unique.add(segment)
+            if added:
+                prefix = segment >> 2  # drop last base
+                yield from self.by_prefix.put(prefix, segment)
+            return added
+
+        return body
+
+    def _link_body(self, segment: int):
+        def body():
+            suffix = segment & ((1 << (2 * (SEGMENT_LENGTH - 1))) - 1)
+            successor = yield from self.by_prefix.get(suffix)
+            if successor is None or successor == segment:
+                return False  # read-only probe, no overlap
+            existing = yield from self.links.get(segment)
+            if existing is not None:
+                return False  # read-only: already linked
+            yield from self.links.put(segment, successor)
+            return True
+
+        return body
+
+    def program(self, tid: int) -> Generator:
+        for segment in self.partition(self.segments, tid):
+            yield Work(COMPUTE_NS)
+            yield Transaction(self._dedup_body(segment), label="dedup")
+        yield AwaitBarrier(self.barrier)
+        unique_sorted = sorted(set(self.segments))
+        for segment in self.partition(unique_sorted, tid):
+            yield Work(COMPUTE_NS)
+            yield Transaction(self._link_body(segment), label="link")
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        stored = set(self.unique.elements_direct())
+        assert stored == set(self.segments), "dedup set lost or invented segments"
+        # Every link is a real overlap in the input.
+        for segment, successor in self.links.items_direct():
+            suffix = segment & ((1 << (2 * (SEGMENT_LENGTH - 1))) - 1)
+            assert successor >> 2 == suffix, "linked pair does not overlap"
+            assert successor in stored

@@ -1,0 +1,98 @@
+"""intruder — signature-based network intrusion detection.
+
+Transaction shape (as in STAMP): the capture phase pops one packet
+fragment from a single shared queue (every concurrent pop collides on
+the head pointer — the "dynamic buffer" contention §6.3 says other
+constructs could avoid); the reassembly phase inserts the fragment
+into a per-flow map and, when the flow completes, atomically claims
+it.  Detection on the reassembled flow is thread-local compute.
+
+Flows have 2-6 fragments delivered in random global order.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from ..runtime import Transaction, Work
+from ..txlib import THashMap, TQueue, TVar
+from .common import StampWorkload
+
+FLOWS = 96
+MAX_FRAGMENTS = 6
+DETECT_NS = 700.0
+CAPTURE_NS = 150.0
+
+_ATTACK_EVERY = 8  # one in eight flows carries the "attack" payload
+
+
+class IntruderWorkload(StampWorkload):
+    name = "intruder"
+    profile = "queue-pop txns (hot head pointer) + per-flow map updates"
+
+    def setup(self) -> None:
+        n_flows = self.scaled(FLOWS, minimum=8)
+        self.n_flows = n_flows
+        packets: List[Tuple[int, int, int]] = []  # (flow, index, total)
+        self.attack_flows = set()
+        for flow in range(n_flows):
+            total = 2 + self.rng.randrange(MAX_FRAGMENTS - 1)
+            if flow % _ATTACK_EVERY == 0:
+                self.attack_flows.add(flow)
+            for index in range(total):
+                packets.append((flow, index, total))
+        self.rng.shuffle(packets)
+        self.n_packets = len(packets)
+
+        self.queue = TQueue(self.memory)
+        self.queue.seed_direct(packets)
+        #: flow -> fragments received so far
+        self.assembly = THashMap(self.memory, n_buckets=128)
+        self.completed = THashMap(self.memory, n_buckets=128)
+        self.detected = TVar(self.memory, 0)
+
+    # ------------------------------------------------------------------
+    def _capture_body(self):
+        def body():
+            packet = yield from self.queue.pop()
+            if packet is None:
+                return None
+            flow, index, total = packet
+            received = yield from self.assembly.get(flow)
+            received = (received or 0) + 1
+            if received == total:
+                yield from self.assembly.remove(flow)
+                yield from self.completed.put(flow, total)
+                return flow  # fully reassembled: detect outside? no — claimed here
+            yield from self.assembly.put(flow, received)
+            return -1
+
+        return body
+
+    def _report_body(self):
+        def body():
+            yield from self.detected.add(1)
+
+        return body
+
+    def program(self, tid: int) -> Generator:
+        # Each thread keeps draining until the queue is empty.
+        while True:
+            yield Work(CAPTURE_NS)
+            flow = yield Transaction(self._capture_body(), label="capture")
+            if flow is None:
+                break
+            if flow >= 0:
+                yield Work(DETECT_NS)  # run the detector on the flow
+                if flow in self.attack_flows:
+                    yield Transaction(self._report_body(), label="report")
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        assert self.queue.drain_direct() == [], "packets left in the queue"
+        completed = dict(self.completed.items_direct())
+        assert len(completed) == self.n_flows, (
+            f"only {len(completed)}/{self.n_flows} flows reassembled"
+        )
+        assert self.assembly.items_direct() == [], "dangling partial flows"
+        assert self.detected.peek() == len(self.attack_flows)

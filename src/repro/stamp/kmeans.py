@@ -1,0 +1,102 @@
+"""kmeans — iterative clustering (STAMP's high-contention variant).
+
+Transaction shape (as in STAMP): the distance computation runs on a
+*stale* snapshot of the centroids outside the critical section; the
+transaction is only the accumulator update — ``sums[cluster] += point,
+counts[cluster] += 1`` — a short transaction of ``dim + 1``
+read-modify-writes on one of K cluster accumulators.  With K small and
+many threads, transactions collide constantly: the paper's example of
+contention "induced by sharing atomic counters" that other constructs
+could resolve (§6.3).
+
+Phases are separated by barriers; thread 0 folds the accumulators into
+new centroids between iterations (direct access under the barrier, as
+the original does its sequential reduction).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ..runtime import AwaitBarrier, SimBarrier, Transaction, Work
+from ..txlib import TArray
+from .common import StampWorkload
+
+DIM = 16
+CLUSTERS = 8
+ITERATIONS = 3
+POINTS = 360
+COMPUTE_NS_PER_POINT = 600.0  # distance evaluation against K centroids
+
+
+class KmeansWorkload(StampWorkload):
+    name = "kmeans"
+    profile = (
+        "many short txns ({} RMW cells each) on {} shared accumulators; "
+        "high contention, no read-only txns".format(DIM + 1, CLUSTERS)
+    )
+    #: class-level knob so contention variants can override it.
+    clusters = CLUSTERS
+
+    def setup(self) -> None:
+        n_points = self.scaled(POINTS, minimum=self.clusters * 2)
+        self.points: List[List[int]] = [
+            [self.rng.randrange(1000) for _ in range(DIM)] for _ in range(n_points)
+        ]
+        # Per-cluster accumulators: DIM sums + a count, cacheline-spread.
+        self.sums = [TArray(self.memory, DIM) for _ in range(self.clusters)]
+        self.counts = TArray(self.memory, self.clusters)
+        self.centroids = [
+            self.points[i % n_points][:] for i in range(self.clusters)
+        ]
+        self.barrier = SimBarrier(self.n_threads)
+        self._committed_points = 0
+
+    # ------------------------------------------------------------------
+    def _nearest(self, point: List[int]) -> int:
+        best, best_dist = 0, None
+        for c, centroid in enumerate(self.centroids):
+            dist = sum((a - b) ** 2 for a, b in zip(point, centroid))
+            if best_dist is None or dist < best_dist:
+                best, best_dist = c, dist
+        return best
+
+    def _accumulate_body(self, cluster: int, point: List[int]):
+        def body():
+            for d in range(DIM):
+                yield from self.sums[cluster].add(d, point[d])
+            yield from self.counts.add(cluster, 1)
+
+        return body
+
+    def program(self, tid: int) -> Generator:
+        mine = self.partition(self.points, tid)
+        for _ in range(ITERATIONS):
+            for point in mine:
+                yield Work(COMPUTE_NS_PER_POINT)
+                cluster = self._nearest(point)
+                yield Transaction(self._accumulate_body(cluster, point), label="accumulate")
+            yield AwaitBarrier(self.barrier)
+            if tid == 0:
+                self._reduce()
+            yield AwaitBarrier(self.barrier)
+
+    def _reduce(self) -> None:
+        """Fold accumulators into centroids and reset them (thread 0,
+        between barriers — sequential as in the original)."""
+        counts = self.counts.snapshot()
+        for c in range(self.clusters):
+            if counts[c]:
+                sums = self.sums[c].snapshot()
+                self.centroids[c] = [s // counts[c] for s in sums]
+            self.sums[c].fill([0] * DIM)
+        self._committed_points += sum(counts)
+        self.counts.fill([0] * self.clusters)
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        expected = len(self.points) * ITERATIONS
+        assert self._committed_points == expected, (
+            f"lost updates: accumulated {self._committed_points} point-assignments, "
+            f"expected {expected}"
+        )

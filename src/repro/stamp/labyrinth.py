@@ -1,0 +1,156 @@
+"""labyrinth — parallel maze routing (Lee's algorithm).
+
+Transaction shape (as in STAMP): each transaction routes one
+(start, goal) pair.  As in the original code, the grid snapshot is
+copied with *plain loads* (an application-level early-release
+optimization — the copy may be inconsistent), the route is computed
+over the private copy, and then every cell of the chosen path is
+transactionally re-read and claimed — so the transactional read set is
+the path, by far the largest read set of the suite (the "huge read
+set" Fig. 11 blames for TinySTM's validation overhead), and conflicts
+are real path overlaps that "can only resort to transactions" (§6.3).
+A claim that finds a cell already taken restarts routing from a fresh
+snapshot (STAMP's TM_RESTART loop), bounded by RETRIES.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, List, Optional, Tuple
+
+from ..runtime import Read, Transaction, Work, Write
+from ..txlib import TArray
+from .common import StampWorkload
+
+GRID = 32               # grid side (scaled area)
+PATHS = 20
+BFS_NS_PER_CELL = 6.0   # expansion cost of Lee's algorithm
+COPY_NS_PER_CELL = 0.8  # plain-load memcpy of the grid
+RETRIES = 12            # re-route attempts after claim failures
+EMPTY = 0
+
+
+class LabyrinthWorkload(StampWorkload):
+    name = "labyrinth"
+    profile = "few long txns: whole-grid read snapshot + path writes"
+
+    def setup(self) -> None:
+        side = max(8, round(GRID * self.scale**0.5))
+        self.side = side
+        self.grid = TArray(self.memory, side * side)
+        n_paths = self.scaled(PATHS, minimum=4)
+        self.jobs: List[Tuple[int, int]] = []
+        self._routed = set()
+        cells = side * side
+        taken = set()
+        for path_id in range(n_paths):
+            while True:
+                start = self.rng.randrange(cells)
+                goal = self.rng.randrange(cells)
+                if start != goal and start not in taken and goal not in taken:
+                    taken.add(start)
+                    taken.add(goal)
+                    break
+            self.jobs.append((start, goal))
+            # Endpoints are pre-claimed pins (as the original marks
+            # routing terminals), so no other path routes over them.
+            self.grid.fill_at(start, path_id + 1)
+            self.grid.fill_at(goal, path_id + 1)
+
+    # ------------------------------------------------------------------
+    def _neighbors(self, cell: int):
+        side = self.side
+        x, y = cell % side, cell // side
+        if x > 0:
+            yield cell - 1
+        if x < side - 1:
+            yield cell + 1
+        if y > 0:
+            yield cell - side
+        if y < side - 1:
+            yield cell + side
+
+    def _route(
+        self, snapshot: List[int], start: int, goal: int, marker: int
+    ) -> Optional[List[int]]:
+        """BFS over the private snapshot; returns the path or None.
+
+        Passable cells are empty or carry this path's own marker (its
+        pre-claimed endpoints).
+        """
+        parent = {start: start}
+        frontier = deque([start])
+        while frontier:
+            cell = frontier.popleft()
+            if cell == goal:
+                path = [cell]
+                while cell != start:
+                    cell = parent[cell]
+                    path.append(cell)
+                return path
+            for nxt in self._neighbors(cell):
+                if nxt not in parent and snapshot[nxt] in (EMPTY, marker):
+                    parent[nxt] = cell
+                    frontier.append(nxt)
+        return None
+
+    def _route_body(self, path_id: int, start: int, goal: int):
+        side = self.side
+        marker = path_id + 1
+
+        def body():
+            # Plain-load snapshot (early release): not part of the
+            # transactional read set, may be stale.
+            snapshot = self.grid.snapshot()
+            yield Work(COPY_NS_PER_CELL * side * side)
+            yield Work(BFS_NS_PER_CELL * side * side)
+            path = self._route(snapshot, start, goal, marker)
+            if path is None:
+                return "unroutable"
+            # Transactionally re-read and claim every path cell; the
+            # path is the (large) read+write set the TM must protect.
+            for cell in path:
+                value = yield Read(self.grid.base + cell)
+                if value not in (EMPTY, marker):
+                    return "blocked"  # stale snapshot: restart routing
+            for cell in path:
+                yield Write(self.grid.base + cell, marker)
+            return "routed"
+
+        return body
+
+    def program(self, tid: int) -> Generator:
+        for path_id, (start, goal) in enumerate(self.jobs):
+            if path_id % self.n_threads != tid:
+                continue
+            for _ in range(RETRIES):
+                outcome = yield Transaction(
+                    self._route_body(path_id, start, goal), label="route"
+                )
+                if outcome == "routed":
+                    self._routed.add(path_id)
+                if outcome != "blocked":
+                    break
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        grid = self.grid.snapshot()
+        # Each routed path must be a connected start->goal corridor of
+        # its own id; distinct paths never share a cell (that is the
+        # atomicity the TM must provide).
+        for path_id, (start, goal) in enumerate(self.jobs):
+            marker = path_id + 1
+            cells = {c for c, v in enumerate(grid) if v == marker}
+            assert start in cells and goal in cells, f"path {marker} lost its pins"
+            if path_id not in self._routed:
+                continue  # unroutable jobs legitimately fail; pins remain
+            # Connectivity within the marker set.
+            seen = {start}
+            frontier = deque([start])
+            while frontier:
+                cell = frontier.popleft()
+                for nxt in self._neighbors(cell):
+                    if nxt in cells and nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+            assert goal in seen, f"path {marker} disconnected"

@@ -1,0 +1,161 @@
+"""vacation — an in-memory travel reservation database.
+
+Transaction shape (as in STAMP): a client session queries several
+random relations (cars / flights / rooms availability), reserves the
+best-priced item for a customer, occasionally deletes a customer
+(releasing reservations) or updates the tables.  Mid-size transactions
+with a large read part and a small write part; contention is moderate
+and grows with the query footprint.
+
+The mix follows STAMP's "low contention" default: 90% reservations,
+5% deletions, 5% table updates; ~80% of each transaction's accesses
+are reads.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ..runtime import Transaction, Work
+from ..txlib import THashMap
+from .common import StampWorkload, drive_direct
+
+RELATIONS = 48          # items per resource table (scaled)
+SESSIONS = 420          # total client sessions (scaled), fixed so the
+                        # work is identical at every thread count
+QUERIES_PER_SESSION = 4
+CUSTOMERS = 64
+COMPUTE_NS = 500.0
+
+KIND_CAR, KIND_FLIGHT, KIND_ROOM = 0, 1, 2
+KINDS = (KIND_CAR, KIND_FLIGHT, KIND_ROOM)
+
+
+class VacationWorkload(StampWorkload):
+    name = "vacation"
+    profile = "mid-size txns, ~80% reads (queries) + small reservation writes"
+    #: class-level knobs so contention variants can override them.
+    relations = RELATIONS
+    queries_per_session = QUERIES_PER_SESSION
+
+    def setup(self) -> None:
+        n_items = self.scaled(self.relations, minimum=8)
+        self.n_items = n_items
+        self.tables = {kind: THashMap(self.memory, n_buckets=64) for kind in KINDS}
+        self.reservations = THashMap(self.memory, n_buckets=128)
+        self._seed_tables()
+        self.sessions = [self._make_session() for _ in range(self.scaled(SESSIONS))]
+        self._released = 0
+
+    def _seed_tables(self) -> None:
+        # Direct seeding: (available, price) per item id.
+        for kind in KINDS:
+            table = self.tables[kind]
+            for item in range(self.n_items):
+                price = 100 + self.rng.randrange(400)
+                self._direct_put(table, item, (10, price))
+
+    @staticmethod
+    def _direct_put(table: THashMap, key, value) -> None:
+        drive_direct(table.memory, table.put(key, value))
+
+    def _make_session(self):
+        roll = self.rng.random()
+        customer = self.rng.randrange(CUSTOMERS)
+        if roll < 0.90:
+            queries = [
+                (self.rng.choice(KINDS), self.rng.randrange(self.n_items))
+                for _ in range(self.queries_per_session)
+            ]
+            return ("reserve", customer, queries)
+        if roll < 0.95:
+            return ("delete", customer, None)
+        return (
+            "update",
+            None,
+            [
+                (self.rng.choice(KINDS), self.rng.randrange(self.n_items),
+                 100 + self.rng.randrange(400))
+                for _ in range(2)
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    def _reserve_body(self, customer: int, queries):
+        def body():
+            best = None
+            for kind, item in queries:
+                entry = yield from self.tables[kind].get(item)
+                if entry is None:
+                    continue
+                available, price = entry
+                if available > 0 and (best is None or price < best[2]):
+                    best = (kind, item, price, available)
+            if best is None:
+                return 0
+            kind, item, price, available = best
+            yield from self.tables[kind].put(item, (available - 1, price))
+            key = (customer, kind, item)
+            count = yield from self.reservations.get(key)
+            yield from self.reservations.put(key, (count or 0) + 1)
+            return 1
+
+        return body
+
+    def _delete_body(self, customer: int):
+        def body():
+            released = 0
+            # Check this customer's possible reservations (bounded scan
+            # of known keys, as the original walks the customer's list).
+            for kind in KINDS:
+                for item in range(0, self.n_items, max(1, self.n_items // 4)):
+                    key = (customer, kind, item)
+                    count = yield from self.reservations.get(key)
+                    if count:
+                        yield from self.reservations.remove(key)
+                        entry = yield from self.tables[kind].get(item)
+                        if entry is not None:
+                            available, price = entry
+                            yield from self.tables[kind].put(
+                                item, (available + count, price)
+                            )
+                        released += count
+            return released
+
+        return body
+
+    def _update_body(self, updates):
+        def body():
+            for kind, item, new_price in updates:
+                entry = yield from self.tables[kind].get(item)
+                if entry is not None:
+                    available, _ = entry
+                    yield from self.tables[kind].put(item, (available, new_price))
+
+        return body
+
+    def program(self, tid: int) -> Generator:
+        for action, customer, payload in self.partition(self.sessions, tid):
+            yield Work(COMPUTE_NS)
+            if action == "reserve":
+                yield Transaction(self._reserve_body(customer, payload), label="reserve")
+            elif action == "delete":
+                yield Transaction(self._delete_body(customer), label="delete")
+            else:
+                yield Transaction(self._update_body(payload), label="update")
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        # Conservation: for every item, initial stock == available +
+        # outstanding reservations of that item.
+        outstanding = {}
+        for (customer, kind, item), count in self.reservations.items_direct():
+            outstanding[(kind, item)] = outstanding.get((kind, item), 0) + count
+        for kind in KINDS:
+            for item, (available, _price) in self.tables[kind].items_direct():
+                reserved = outstanding.get((kind, item), 0)
+                assert available + reserved == 10, (
+                    f"stock leak on {kind}/{item}: available={available} "
+                    f"reserved={reserved}"
+                )
+                assert available >= 0, f"oversold {kind}/{item}"

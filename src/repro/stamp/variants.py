@@ -1,0 +1,35 @@
+"""Contention variants of the STAMP applications.
+
+The original suite ships "low" and "high" contention configurations
+(e.g. ``vacation-low``/``vacation-high``, ``kmeans-low``/``kmeans-high``);
+the paper evaluates one configuration per application, but the
+variants are part of STAMP's surface and make useful stress knobs, so
+they are provided here as parameter-override subclasses.
+
+* ``vacation-high``: a quarter of the relations and twice the queries
+  per session — many more sessions collide on the same rows.
+* ``kmeans-low``: 3x the clusters — accumulator collisions become
+  rare and the workload turns embarrassingly parallel.
+"""
+
+from __future__ import annotations
+
+from .kmeans import CLUSTERS, KmeansWorkload
+from .vacation import QUERIES_PER_SESSION, RELATIONS, VacationWorkload
+
+
+class VacationHighWorkload(VacationWorkload):
+    """STAMP's vacation-high: denser queries over fewer rows."""
+
+    name = "vacation-high"
+    profile = "vacation with 4x row density and 2x query footprint"
+    relations = max(8, RELATIONS // 4)
+    queries_per_session = QUERIES_PER_SESSION * 2
+
+
+class KmeansLowWorkload(KmeansWorkload):
+    """STAMP's kmeans-low: more clusters, fewer collisions."""
+
+    name = "kmeans-low"
+    profile = "kmeans with 3x clusters; accumulator collisions rare"
+    clusters = CLUSTERS * 3

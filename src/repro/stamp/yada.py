@@ -1,0 +1,121 @@
+"""yada — "yet another Delaunay application" (mesh refinement).
+
+Transaction shape (as in STAMP): workers pull a *bad* element from a
+shared priority queue, gather its **cavity** — the element plus a
+neighborhood ring read from the shared mesh — retriangulate the
+cavity (compute), replace the cavity's elements with fresh ones, and
+push any new bad elements back.  Long read-mostly transactions whose
+conflicts happen exactly when two workers' cavities overlap —
+pointer-chasing contention that "can only resort to transactions"
+(§6.3 groups yada with labyrinth).
+
+Substitution (documented in DESIGN.md): full Delaunay geometry is
+replaced by a random planar-degree mesh graph with a per-element
+badness bit; cavity = the element and its neighbors; retriangulation
+replaces the cavity with the same number of fresh elements wired to
+the old ring, each new element bad with a decaying probability.  This
+preserves footprint sizes, queue pressure, and overlap-driven
+conflicts, which is what the evaluation exercises.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ..runtime import Transaction, Work
+from ..txlib import NULL, THashMap, THeap, TVar
+from .common import StampWorkload, drive_direct
+
+ELEMENTS = 128
+NEIGHBORS = 4
+INITIAL_BAD_FRACTION = 0.35
+RESEED_PROBABILITY = 0.3     # chance a replacement element is bad
+RETRIANGULATE_NS = 900.0
+MAX_TOTAL_WORK = 4000        # safety valve on the scaled work amount
+
+
+class YadaWorkload(StampWorkload):
+    name = "yada"
+    profile = "cavity txns: ~{} element reads, full-cavity rewrite".format(NEIGHBORS + 1)
+
+    def setup(self) -> None:
+        n_elements = self.scaled(ELEMENTS, minimum=16)
+        #: element id -> (bad, neighbor tuple); ids grow monotonically.
+        self.mesh = THashMap(self.memory, n_buckets=256)
+        self.work = THeap(self.memory, capacity=MAX_TOTAL_WORK)
+        self.processed = TVar(self.memory, 0)
+        self.next_id = TVar(self.memory, n_elements)
+
+        initial_bad = []
+        for element in range(n_elements):
+            neighbors = tuple(
+                (element + delta) % n_elements
+                for delta in self.rng.sample(range(1, max(2, n_elements)), NEIGHBORS)
+            )
+            bad = 1 if self.rng.random() < INITIAL_BAD_FRACTION else 0
+            drive_direct(self.memory, self.mesh.put(element, (bad, neighbors)))
+            if bad:
+                initial_bad.append(element)
+        self.work.seed_direct(initial_bad)
+        self.initial_bad = len(initial_bad)
+
+    # ------------------------------------------------------------------
+    def _refine_body(self):
+        def body():
+            element = yield from self.work.pop_min()
+            if element is None:
+                return None
+            entry = yield from self.mesh.get(element)
+            if entry is None or entry[0] == 0:
+                return -1  # stale work item: already refined away
+            _, neighbors = entry
+
+            # Gather the cavity: the element plus its live neighbors.
+            cavity = [(element, neighbors)]
+            for n in neighbors:
+                n_entry = yield from self.mesh.get(n)
+                if n_entry is not None:
+                    cavity.append((n, n_entry[1]))
+
+            yield Work(RETRIANGULATE_NS)
+
+            # Replace the cavity with fresh elements.
+            new_bad = []
+            ring = tuple(nid for nid, _ in cavity)
+            for old_id, old_neighbors in cavity:
+                yield from self.mesh.remove(old_id)
+            guard = yield from self.processed.add(1)
+            for i, (old_id, old_neighbors) in enumerate(cavity):
+                fresh = yield from self.next_id.add(1)
+                # Deterministic pseudo-randomness from the fresh id.
+                bad = 1 if (fresh * 2654435761 >> 8) % 100 < RESEED_PROBABILITY * 100 else 0
+                wired = tuple(n for n in old_neighbors if n not in ring) or (fresh,)
+                yield from self.mesh.put(fresh, (bad, wired))
+                if bad and guard < MAX_TOTAL_WORK // (NEIGHBORS + 2):
+                    new_bad.append(fresh)
+            for fresh in new_bad:
+                yield from self.work.push(fresh)
+            return element
+
+        return body
+
+    def program(self, tid: int) -> Generator:
+        while True:
+            result = yield Transaction(self._refine_body(), label="refine")
+            if result is None:
+                break
+            yield Work(100.0)
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        assert self.work.snapshot_direct() == [], "work queue not drained"
+        # Some refinement must have happened (stale pops — elements
+        # refined away as part of an earlier cavity — are legitimate,
+        # so the count can be below the initial bad population).
+        processed = self.processed.peek()
+        if self.initial_bad:
+            assert processed >= 1, "no cavity was ever refined"
+        # Mesh integrity: every entry parses as (bad, neighbors).
+        for element, (bad, neighbors) in self.mesh.items_direct():
+            assert bad in (0, 1)
+            assert isinstance(neighbors, tuple) and neighbors

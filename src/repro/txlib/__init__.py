@@ -1,0 +1,31 @@
+"""Transactional data structures over the simulated flat heap.
+
+Every method that touches shared state is a generator used with
+``yield from`` inside transaction bodies; construction and the
+``*_direct`` methods are non-transactional (setup / verification).
+
+* :class:`TVar`, :class:`TArray` — cells and arrays.
+* :class:`THashMap`, :class:`THashSet` — chained hash tables.
+* :class:`TQueue` — linked FIFO.
+* :class:`TSortedList` — sorted linked list.
+* :class:`THeap` — bounded binary min-heap.
+"""
+
+from .array import TArray, TVar
+from .base import NULL, mix
+from .hashmap import THashMap, THashSet
+from .heap import THeap
+from .list import TSortedList
+from .queue import TQueue
+
+__all__ = [
+    "NULL",
+    "TArray",
+    "THashMap",
+    "THashSet",
+    "THeap",
+    "TQueue",
+    "TSortedList",
+    "TVar",
+    "mix",
+]

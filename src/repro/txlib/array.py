@@ -1,0 +1,76 @@
+"""Flat transactional cells and arrays."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from ..runtime.api import Read, Write
+from ..runtime.memory import Memory
+from .base import Structure
+
+
+class TVar(Structure):
+    """A single shared cell."""
+
+    def __init__(self, memory: Memory, initial: Any = 0):
+        super().__init__(memory)
+        self.addr = memory.alloc(1)
+        memory.store(self.addr, initial)
+
+    def get(self):
+        return (yield Read(self.addr))
+
+    def set(self, value):
+        yield Write(self.addr, value)
+
+    def add(self, delta):
+        """Read-modify-write; returns the new value."""
+        value = (yield Read(self.addr)) + delta
+        yield Write(self.addr, value)
+        return value
+
+    def peek(self) -> Any:
+        """Direct (non-transactional) load for setup/verification."""
+        return self.memory.load(self.addr)
+
+
+class TArray(Structure):
+    """A fixed-length array of cells."""
+
+    def __init__(self, memory: Memory, length: int, initial: Any = 0):
+        super().__init__(memory)
+        if length < 1:
+            raise ValueError("array length must be positive")
+        self.length = length
+        self.base = memory.alloc(length, align_line=True)
+        if initial != 0:
+            for i in range(length):
+                memory.store(self.base + i, initial)
+
+    def _addr(self, index: int) -> int:
+        if not 0 <= index < self.length:
+            raise IndexError(f"index {index} out of range [0, {self.length})")
+        return self.base + index
+
+    def get(self, index: int):
+        return (yield Read(self._addr(index)))
+
+    def set(self, index: int, value):
+        yield Write(self._addr(index), value)
+
+    def add(self, index: int, delta):
+        addr = self._addr(index)
+        value = (yield Read(addr)) + delta
+        yield Write(addr, value)
+        return value
+
+    # Direct access for setup and post-run verification.
+    def fill_at(self, index: int, value: Any) -> None:
+        self.memory.store(self._addr(index), value)
+
+    def fill(self, values: Iterable[Any]) -> None:
+        for i, value in enumerate(values):
+            self.memory.store(self._addr(i), value)
+
+    def snapshot(self) -> list:
+        return self.memory.load_many(self.base, self.length)

@@ -1,0 +1,51 @@
+"""Conventions shared by the transactional data structures.
+
+Structures are laid out in simulated memory at construction time
+(direct stores — the single-threaded setup phase of a STAMP program)
+and accessed transactionally afterwards through generator methods that
+bodies compose with ``yield from``::
+
+    def body():
+        old = yield from table.put(key, value)
+        ...
+
+``NULL`` is the null pointer; unlinked pointer cells must be
+explicitly initialized to it because unwritten cells read 0, which is
+a valid address.
+
+Hashing is deliberately *not* Python's ``hash`` (randomized for some
+types): :func:`mix` is a deterministic 64-bit mixer so simulated runs
+are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from ..runtime.memory import Memory
+
+NULL = -1
+
+_MASK = (1 << 64) - 1
+
+IntKey = Union[int, Tuple[int, ...]]
+
+
+def mix(key: IntKey) -> int:
+    """Deterministic 64-bit hash for ints and int tuples."""
+    if isinstance(key, tuple):
+        acc = 0x9E3779B97F4A7C15
+        for part in key:
+            acc = (acc ^ mix(part)) * 0xBF58476D1CE4E5B9 & _MASK
+        return acc
+    x = key & _MASK
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _MASK
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _MASK
+    return x ^ (x >> 31)
+
+
+class Structure:
+    """Base: remembers the memory used for direct setup access."""
+
+    def __init__(self, memory: Memory):
+        self.memory = memory

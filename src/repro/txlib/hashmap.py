@@ -1,0 +1,145 @@
+"""Chained transactional hash map (and a set on top).
+
+Layout: a bucket array of head pointers plus [key, value, next]
+nodes.  Buckets are cacheline-aligned; nodes are allocated inside
+transactions (leaked on abort, like malloc in STAMP).  Keys are ints
+or int tuples hashed with the deterministic mixer.
+
+An optional size counter is off by default: a shared counter turns
+every insert into a conflict on one cell, which is exactly the
+"conflicts resolvable by other programming constructs" pathology the
+paper cites for kmeans/intruder — workloads opt in where STAMP does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..runtime.api import Alloc, Read, Write
+from ..runtime.memory import Memory
+from .base import NULL, IntKey, Structure, mix
+
+_KEY, _VALUE, _NEXT = 0, 1, 2
+_NODE_CELLS = 3
+
+
+class THashMap(Structure):
+    def __init__(self, memory: Memory, n_buckets: int = 256, track_size: bool = False):
+        super().__init__(memory)
+        if n_buckets < 1:
+            raise ValueError("need at least one bucket")
+        self.n_buckets = n_buckets
+        self.buckets = memory.alloc(n_buckets, align_line=True)
+        for i in range(n_buckets):
+            memory.store(self.buckets + i, NULL)
+        self._size_addr: Optional[int] = None
+        if track_size:
+            self._size_addr = memory.alloc(1)
+            memory.store(self._size_addr, 0)
+
+    def _bucket(self, key: IntKey) -> int:
+        return self.buckets + mix(key) % self.n_buckets
+
+    # ------------------------------------------------------------------
+    def get(self, key: IntKey):
+        """Value for *key*, or None."""
+        ptr = yield Read(self._bucket(key))
+        while ptr != NULL:
+            if (yield Read(ptr + _KEY)) == key:
+                return (yield Read(ptr + _VALUE))
+            ptr = yield Read(ptr + _NEXT)
+        return None
+
+    def contains(self, key: IntKey):
+        return (yield from self.get(key)) is not None
+
+    def put(self, key: IntKey, value: Any):
+        """Insert or update; returns the previous value or None."""
+        bucket = self._bucket(key)
+        head = yield Read(bucket)
+        ptr = head
+        while ptr != NULL:
+            if (yield Read(ptr + _KEY)) == key:
+                old = yield Read(ptr + _VALUE)
+                yield Write(ptr + _VALUE, value)
+                return old
+            ptr = yield Read(ptr + _NEXT)
+        node = yield Alloc(_NODE_CELLS)
+        yield Write(node + _KEY, key)
+        yield Write(node + _VALUE, value)
+        yield Write(node + _NEXT, head)
+        yield Write(bucket, node)
+        if self._size_addr is not None:
+            count = yield Read(self._size_addr)
+            yield Write(self._size_addr, count + 1)
+        return None
+
+    def put_if_absent(self, key: IntKey, value: Any):
+        """Insert only if missing; returns True when inserted."""
+        existing = yield from self.get(key)
+        if existing is not None:
+            return False
+        yield from self.put(key, value)
+        return True
+
+    def remove(self, key: IntKey):
+        """Unlink *key*; returns the removed value or None."""
+        bucket = self._bucket(key)
+        prev = NULL
+        ptr = yield Read(bucket)
+        while ptr != NULL:
+            if (yield Read(ptr + _KEY)) == key:
+                old = yield Read(ptr + _VALUE)
+                successor = yield Read(ptr + _NEXT)
+                if prev == NULL:
+                    yield Write(bucket, successor)
+                else:
+                    yield Write(prev + _NEXT, successor)
+                if self._size_addr is not None:
+                    count = yield Read(self._size_addr)
+                    yield Write(self._size_addr, count - 1)
+                return old
+            prev, ptr = ptr, (yield Read(ptr + _NEXT))
+        return None
+
+    def size(self):
+        if self._size_addr is None:
+            raise RuntimeError("size tracking disabled for this map")
+        return (yield Read(self._size_addr))
+
+    # ------------------------------------------------------------------
+    def items_direct(self) -> list:
+        """Non-transactional scan for verification after a run."""
+        out = []
+        for i in range(self.n_buckets):
+            ptr = self.memory.load(self.buckets + i)
+            while ptr != NULL:
+                out.append(
+                    (self.memory.load(ptr + _KEY), self.memory.load(ptr + _VALUE))
+                )
+                ptr = self.memory.load(ptr + _NEXT)
+        return out
+
+
+class THashSet(Structure):
+    """A set of int(-tuple) elements over THashMap."""
+
+    def __init__(self, memory: Memory, n_buckets: int = 256, track_size: bool = False):
+        super().__init__(memory)
+        self._map = THashMap(memory, n_buckets, track_size)
+
+    def add(self, element: IntKey):
+        """Returns True if newly added."""
+        return (yield from self._map.put_if_absent(element, 1))
+
+    def contains(self, element: IntKey):
+        return (yield from self._map.contains(element))
+
+    def remove(self, element: IntKey):
+        return (yield from self._map.remove(element)) is not None
+
+    def size(self):
+        return (yield from self._map.size())
+
+    def elements_direct(self) -> list:
+        return [key for key, _ in self._map.items_direct()]

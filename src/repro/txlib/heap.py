@@ -1,0 +1,92 @@
+"""Transactional binary min-heap (array-backed, bounded capacity).
+
+Yada's work queue of bad triangles and intruder's fragment ordering
+use priority queues; a heap's root cell is a global hot spot, which is
+part of what makes those workloads contended.
+Elements are ints or int tuples compared lexicographically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..runtime.api import Read, Write
+from ..runtime.memory import Memory
+from .base import Structure
+
+
+class THeap(Structure):
+    def __init__(self, memory: Memory, capacity: int):
+        super().__init__(memory)
+        if capacity < 1:
+            raise ValueError("heap capacity must be positive")
+        self.capacity = capacity
+        self.size_addr = memory.alloc(1)
+        memory.store(self.size_addr, 0)
+        self.base = memory.alloc(capacity, align_line=True)
+
+    # ------------------------------------------------------------------
+    def push(self, element: Any):
+        size = yield Read(self.size_addr)
+        if size >= self.capacity:
+            raise OverflowError("heap full")
+        index = size
+        yield Write(self.size_addr, size + 1)
+        # Sift up.
+        while index > 0:
+            parent = (index - 1) // 2
+            parent_value = yield Read(self.base + parent)
+            if parent_value <= element:
+                break
+            yield Write(self.base + index, parent_value)
+            index = parent
+        yield Write(self.base + index, element)
+
+    def pop_min(self):
+        """Smallest element, or None when empty."""
+        size = yield Read(self.size_addr)
+        if size == 0:
+            return None
+        top = yield Read(self.base)
+        size -= 1
+        yield Write(self.size_addr, size)
+        if size == 0:
+            return top
+        mover = yield Read(self.base + size)
+        # Sift down.
+        index = 0
+        while True:
+            child = 2 * index + 1
+            if child >= size:
+                break
+            child_value = yield Read(self.base + child)
+            if child + 1 < size:
+                right = yield Read(self.base + child + 1)
+                if right < child_value:
+                    child += 1
+                    child_value = right
+            if mover <= child_value:
+                break
+            yield Write(self.base + index, child_value)
+            index = child
+        yield Write(self.base + index, mover)
+        return top
+
+    def size(self):
+        return (yield Read(self.size_addr))
+
+    # ------------------------------------------------------------------
+    def seed_direct(self, elements) -> None:
+        """Non-transactional heapify during setup."""
+        import heapq
+
+        items = list(elements)
+        if len(items) > self.capacity:
+            raise OverflowError("heap full")
+        heapq.heapify(items)
+        self.memory.store(self.size_addr, len(items))
+        self.memory.store_many(self.base, items)
+
+    def snapshot_direct(self) -> list:
+        size = self.memory.load(self.size_addr)
+        return self.memory.load_many(self.base, size)

@@ -1,0 +1,96 @@
+"""Sorted transactional linked list (int keys).
+
+The pointer-chasing structure behind genome's segment chains and
+vacation's per-customer reservation lists: long read paths with a
+small write at the insertion point — the transaction shape the paper
+calls "transaction-friendly".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..runtime.api import Alloc, Read, Write
+from ..runtime.memory import Memory
+from .base import NULL, Structure
+
+_KEY, _VALUE, _NEXT = 0, 1, 2
+_NODE_CELLS = 3
+
+
+class TSortedList(Structure):
+    def __init__(self, memory: Memory):
+        super().__init__(memory)
+        self.head = memory.alloc(1)
+        memory.store(self.head, NULL)
+
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value: Any = 1):
+        """Insert keeping ascending key order; duplicates rejected.
+
+        Returns True when inserted, False when the key existed.
+        """
+        prev = NULL
+        ptr = yield Read(self.head)
+        while ptr != NULL:
+            current = yield Read(ptr + _KEY)
+            if current == key:
+                return False
+            if current > key:
+                break
+            prev, ptr = ptr, (yield Read(ptr + _NEXT))
+        node = yield Alloc(_NODE_CELLS)
+        yield Write(node + _KEY, key)
+        yield Write(node + _VALUE, value)
+        yield Write(node + _NEXT, ptr)
+        if prev == NULL:
+            yield Write(self.head, node)
+        else:
+            yield Write(prev + _NEXT, node)
+        return True
+
+    def find(self, key: int):
+        """Value stored at *key*, or None."""
+        ptr = yield Read(self.head)
+        while ptr != NULL:
+            current = yield Read(ptr + _KEY)
+            if current == key:
+                return (yield Read(ptr + _VALUE))
+            if current > key:
+                return None
+            ptr = yield Read(ptr + _NEXT)
+        return None
+
+    def remove(self, key: int):
+        """Returns True when a node was unlinked."""
+        prev = NULL
+        ptr = yield Read(self.head)
+        while ptr != NULL:
+            current = yield Read(ptr + _KEY)
+            if current == key:
+                successor = yield Read(ptr + _NEXT)
+                if prev == NULL:
+                    yield Write(self.head, successor)
+                else:
+                    yield Write(prev + _NEXT, successor)
+                return True
+            if current > key:
+                return False
+            prev, ptr = ptr, (yield Read(ptr + _NEXT))
+        return False
+
+    def minimum(self):
+        """Smallest (key, value), or None when empty."""
+        ptr = yield Read(self.head)
+        if ptr == NULL:
+            return None
+        return ((yield Read(ptr + _KEY)), (yield Read(ptr + _VALUE)))
+
+    # ------------------------------------------------------------------
+    def keys_direct(self) -> list:
+        out = []
+        ptr = self.memory.load(self.head)
+        while ptr != NULL:
+            out.append(self.memory.load(ptr + _KEY))
+            ptr = self.memory.load(ptr + _NEXT)
+        return out

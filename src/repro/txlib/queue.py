@@ -1,0 +1,77 @@
+"""Transactional FIFO queue (linked, head/tail pointers).
+
+The contended front-end of intruder: producers append at the tail,
+workers pop at the head; both touch one pointer cell, so every
+pop/push pair of concurrent transactions conflicts — by design, as in
+STAMP's queue.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from ..runtime.api import Alloc, Read, Write
+from ..runtime.memory import Memory
+from .base import NULL, Structure
+
+_VALUE, _NEXT = 0, 1
+_NODE_CELLS = 2
+
+
+class TQueue(Structure):
+    def __init__(self, memory: Memory):
+        super().__init__(memory)
+        self.head = memory.alloc(2, align_line=True)
+        self.tail = self.head + 1
+        memory.store(self.head, NULL)
+        memory.store(self.tail, NULL)
+
+    # ------------------------------------------------------------------
+    def push(self, value: Any):
+        node = yield Alloc(_NODE_CELLS)
+        yield Write(node + _VALUE, value)
+        yield Write(node + _NEXT, NULL)
+        tail = yield Read(self.tail)
+        if tail == NULL:
+            yield Write(self.head, node)
+        else:
+            yield Write(tail + _NEXT, node)
+        yield Write(self.tail, node)
+
+    def pop(self):
+        """The oldest value, or None when empty."""
+        node = yield Read(self.head)
+        if node == NULL:
+            return None
+        value = yield Read(node + _VALUE)
+        successor = yield Read(node + _NEXT)
+        yield Write(self.head, successor)
+        if successor == NULL:
+            yield Write(self.tail, NULL)
+        return value
+
+    def is_empty(self):
+        return (yield Read(self.head)) == NULL
+
+    # ------------------------------------------------------------------
+    def seed_direct(self, values: Iterable[Any]) -> None:
+        """Non-transactional bulk fill during setup."""
+        for value in values:
+            node = self.memory.alloc(_NODE_CELLS)
+            self.memory.store(node + _VALUE, value)
+            self.memory.store(node + _NEXT, NULL)
+            tail = self.memory.load(self.tail)
+            if tail == NULL:
+                self.memory.store(self.head, node)
+            else:
+                self.memory.store(tail + _NEXT, node)
+            self.memory.store(self.tail, node)
+
+    def drain_direct(self) -> list:
+        """Non-transactional drain for verification."""
+        out = []
+        node = self.memory.load(self.head)
+        while node != NULL:
+            out.append(self.memory.load(node + _VALUE))
+            node = self.memory.load(node + _NEXT)
+        return out

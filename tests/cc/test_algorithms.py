@@ -1,0 +1,179 @@
+"""Behavioural tests for the CC contenders, plus cross-algorithm laws."""
+
+import pytest
+
+from repro.cc import (
+    BackwardOCC,
+    ForwardOCC,
+    RococoCC,
+    ToccCommitTime,
+    ToccStartTime,
+    TwoPhaseLocking,
+    generate_trace,
+)
+
+
+def rates(algo_cls, trace, concurrency, **kwargs):
+    return algo_cls(concurrency, **kwargs).run(trace)
+
+
+@pytest.fixture(scope="module")
+def contended_trace():
+    return generate_trace(n_txns=120, ops_per_txn=12, locations=64, seed=11)
+
+
+@pytest.fixture(scope="module")
+def sparse_trace():
+    return generate_trace(n_txns=120, ops_per_txn=2, locations=4096, seed=12)
+
+
+class TestNoContention:
+    def test_everything_commits_when_disjoint(self, sparse_trace):
+        for algo in (TwoPhaseLocking, BackwardOCC, ForwardOCC,
+                     ToccStartTime, ToccCommitTime, RococoCC):
+            result = rates(algo, sparse_trace, 4)
+            assert result.abort_rate < 0.05, algo.name
+
+    def test_serial_execution_never_aborts(self, contended_trace):
+        # T = 1: no overlap at all.
+        for algo in (TwoPhaseLocking, BackwardOCC, ForwardOCC,
+                     ToccStartTime, ToccCommitTime, RococoCC):
+            result = rates(algo, contended_trace, 1)
+            assert result.aborts == 0, algo.name
+
+
+class TestOrderings:
+    """The abort-rate dominance relations the paper relies on."""
+
+    @pytest.mark.parametrize("concurrency", [4, 16])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_rococo_no_worse_than_tocc(self, concurrency, seed):
+        trace = generate_trace(n_txns=150, ops_per_txn=12, locations=128, seed=seed)
+        tocc = rates(ToccCommitTime, trace, concurrency)
+        rococo = rates(RococoCC, trace, concurrency)
+        assert rococo.aborts <= tocc.aborts
+
+    @pytest.mark.parametrize("concurrency", [4, 16])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_commit_time_no_worse_than_start_time(self, concurrency, seed):
+        trace = generate_trace(n_txns=150, ops_per_txn=12, locations=128, seed=seed)
+        lazy = rates(ToccCommitTime, trace, concurrency, read_placement="spread")
+        eager = rates(ToccStartTime, trace, concurrency, read_placement="spread")
+        assert lazy.aborts <= eager.aborts
+
+    def test_start_time_strictly_worse_somewhere(self):
+        """Fig. 2(a): with reads spread through execution, eager
+        timestamps abort reads of fresh versions that LSA forgives."""
+        diffs = 0
+        for seed in range(6):
+            trace = generate_trace(n_txns=200, ops_per_txn=12, locations=96, seed=seed)
+            lazy = rates(ToccCommitTime, trace, 16, read_placement="spread")
+            eager = rates(ToccStartTime, trace, 16, read_placement="spread")
+            diffs += eager.aborts - lazy.aborts
+        assert diffs > 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_tocc_beats_2pl_under_contention(self, seed):
+        trace = generate_trace(n_txns=200, ops_per_txn=16, locations=128, seed=seed)
+        two_pl = rates(TwoPhaseLocking, trace, 16)
+        tocc = rates(ToccCommitTime, trace, 16)
+        assert tocc.aborts < two_pl.aborts
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_focc_matches_commit_time_tocc(self, seed):
+        """In the trace model they abort exactly the same txns (see
+        focc.py docstring)."""
+        trace = generate_trace(n_txns=150, ops_per_txn=8, locations=64, seed=seed)
+        focc = rates(ForwardOCC, trace, 8)
+        tocc = rates(ToccCommitTime, trace, 8)
+        assert focc.decisions == tocc.decisions
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_bocc_no_better_than_focc(self, seed):
+        trace = generate_trace(n_txns=150, ops_per_txn=8, locations=64, seed=seed)
+        bocc = rates(BackwardOCC, trace, 8)
+        focc = rates(ForwardOCC, trace, 8)
+        assert bocc.aborts >= focc.aborts
+
+
+class TestWindowedRococo:
+    def test_window_only_adds_aborts(self, contended_trace):
+        unbounded = rates(RococoCC, contended_trace, 16)
+        windowed = rates(RococoCC, contended_trace, 16, window=8)
+        assert windowed.aborts >= unbounded.aborts
+
+    def test_large_window_equals_unbounded(self, contended_trace):
+        unbounded = rates(RococoCC, contended_trace, 16)
+        windowed = rates(RococoCC, contended_trace, 16, window=1024)
+        assert windowed.decisions == unbounded.decisions
+
+
+class TestSerializabilityOracle:
+    """Every algorithm's committed subset must be serializable."""
+
+    @pytest.mark.parametrize(
+        "algo", [TwoPhaseLocking, BackwardOCC, ForwardOCC,
+                 ToccStartTime, ToccCommitTime, RococoCC]
+    )
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_committed_subset_serializable(self, algo, seed):
+        import networkx as nx
+
+        from repro.cc.engine import INITIAL, CommittedTxn, TraceCC
+
+        captured = []
+
+        class Recorder(algo):  # type: ignore[misc, valid-type]
+            def on_commit(self, view):
+                super().on_commit(view)
+                captured.append(view)
+
+        trace = generate_trace(n_txns=120, ops_per_txn=10, locations=48, seed=seed)
+        Recorder(12).run(trace)
+
+        # Ground-truth dependency graph over committed views.
+        graph = nx.DiGraph()
+        views = {v.txn: v for v in captured}
+        graph.add_nodes_from(views)
+        commit_time = {v.txn: v.commit_time for v in captured}
+        for view in captured:
+            for read in view.reads:
+                if read.version in views and read.version != view.txn:
+                    graph.add_edge(read.version, view.txn)  # RAW
+                # WAR: we precede every committed writer that overwrote
+                # our observed version.
+                for other in captured:
+                    if other.txn == view.txn:
+                        continue
+                    if read.addr in other.write_set and other.commit_time > read.version_time:
+                        graph.add_edge(view.txn, other.txn)
+            for write in view.writes:
+                for other in captured:
+                    if other.txn == view.txn:
+                        continue
+                    if write.addr in other.write_set and other.commit_time < view.commit_time:
+                        graph.add_edge(other.txn, view.txn)  # WAW
+        assert nx.is_directed_acyclic_graph(graph), algo.name
+
+
+class TestKahnEquivalence:
+    """§4.1: Kahn-based online cycle detection == commit-time TOCC."""
+
+    @pytest.mark.parametrize("concurrency", [4, 16])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_identical_decisions(self, concurrency, seed):
+        from repro.cc import KahnCC
+
+        trace = generate_trace(n_txns=150, ops_per_txn=10, locations=96, seed=seed)
+        kahn = rates(KahnCC, trace, concurrency)
+        tocc = rates(ToccCommitTime, trace, concurrency)
+        assert kahn.decisions == tocc.decisions
+
+    def test_emitted_order_is_commit_order(self):
+        from repro.cc import KahnCC
+
+        trace = generate_trace(n_txns=60, ops_per_txn=6, locations=64, seed=9)
+        algo = KahnCC(8)
+        result = algo.run(trace)
+        committed_ids = [t.txn for t, ok in zip(trace, result.decisions) if ok]
+        assert algo.emitted_order == committed_ids

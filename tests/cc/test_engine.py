@@ -1,0 +1,122 @@
+"""The shared timed execution model."""
+
+import pytest
+
+from repro.cc import INITIAL, TraceCC, VersionStore, generate_trace
+from repro.cc.engine import TxnView
+
+
+class AlwaysCommit(TraceCC):
+    name = "always"
+
+    def validate(self, view, committed):
+        return True
+
+
+class AlwaysAbort(TraceCC):
+    name = "never"
+
+    def validate(self, view, committed):
+        return False
+
+
+class TestVersionStore:
+    def test_initial_version(self):
+        store = VersionStore()
+        assert store.observe(0, 10.0) == (INITIAL, 0.0)
+        assert store.current(0) == (INITIAL, 0.0)
+
+    def test_observe_respects_time(self):
+        store = VersionStore()
+        store.install(0, commit_time=5.0, writer=1)
+        store.install(0, commit_time=9.0, writer=2)
+        assert store.observe(0, 4.0) == (INITIAL, 0.0)
+        assert store.observe(0, 5.0) == (1, 5.0)
+        assert store.observe(0, 7.0) == (1, 5.0)
+        assert store.observe(0, 9.5) == (2, 9.0)
+        assert store.current(0) == (2, 9.0)
+
+
+class TestDriver:
+    def test_concurrency_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AlwaysCommit(0)
+
+    def test_all_commit(self):
+        trace = generate_trace(n_txns=20, ops_per_txn=4, seed=1)
+        result = AlwaysCommit(4).run(trace)
+        assert result.commits == 20
+        assert result.abort_rate == 0.0
+
+    def test_all_abort(self):
+        trace = generate_trace(n_txns=20, ops_per_txn=4, seed=1)
+        result = AlwaysAbort(4).run(trace)
+        assert result.aborts == 20
+        assert result.abort_rate == 1.0
+
+    def test_op_times_inside_interval(self):
+        captured = []
+
+        class Capture(AlwaysCommit):
+            def validate(self, view, committed):
+                captured.append(view)
+                return True
+
+        trace = generate_trace(n_txns=5, ops_per_txn=4, seed=2)
+        Capture(8, read_placement="spread").run(trace)
+        for view in captured:
+            for read in view.reads:
+                assert view.start < read.time < view.commit_time
+            for write in view.writes:
+                assert view.start < write.time < view.commit_time
+            assert view.commit_time == view.start + 8
+
+    def test_start_placement_reads_at_snapshot(self):
+        captured = []
+
+        class Capture(AlwaysCommit):
+            def validate(self, view, committed):
+                captured.append(view)
+                return True
+
+        trace = generate_trace(n_txns=5, ops_per_txn=4, seed=2)
+        Capture(8).run(trace)  # default placement: "start"
+        for view in captured:
+            for read in view.reads:
+                assert read.time == view.start
+
+    def test_bad_placement_rejected(self):
+        with pytest.raises(ValueError):
+            AlwaysCommit(4, read_placement="middle")
+
+    def test_reads_observe_committed_writes_only(self):
+        """With concurrency T, txn i never observes txns > i - T."""
+        observed = []
+
+        class Capture(AlwaysCommit):
+            def validate(self, view, committed):
+                observed.append(view)
+                return True
+
+        trace = generate_trace(n_txns=60, ops_per_txn=8, seed=3, locations=16)
+        Capture(4).run(trace)
+        for view in observed:
+            for read in view.reads:
+                if read.version != INITIAL:
+                    # The writer's commit (writer + T) precedes the read.
+                    assert read.version + 4 <= read.time
+
+    def test_overlapping_suffix(self):
+        views = []
+
+        class Capture(AlwaysCommit):
+            def validate(self, view, committed):
+                overlaps = list(self.overlapping(view, committed))
+                views.append((view, [p.view.txn for p in overlaps]))
+                return True
+
+        trace = generate_trace(n_txns=10, ops_per_txn=2, seed=4)
+        Capture(3).run(trace)
+        for view, overlap_ids in views:
+            expected = [t for t in range(max(0, view.txn - 2), view.txn)]
+            assert overlap_ids == expected

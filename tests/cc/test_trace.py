@@ -1,0 +1,62 @@
+"""The micro-benchmark trace generator (§6.1 parameters)."""
+
+import pytest
+
+from repro.cc import OpKind, collision_probability, generate_trace
+
+
+class TestGeneration:
+    def test_trace_shape(self):
+        trace = generate_trace(n_txns=10, ops_per_txn=8, seed=1)
+        assert len(trace) == 10
+        assert all(len(t.ops) == 8 for t in trace)
+
+    def test_addresses_distinct_within_txn(self):
+        trace = generate_trace(n_txns=50, ops_per_txn=16, seed=2)
+        for txn in trace:
+            addrs = [op.addr for op in txn.ops]
+            assert len(addrs) == len(set(addrs))
+
+    def test_addresses_in_range(self):
+        trace = generate_trace(n_txns=20, ops_per_txn=4, locations=64, seed=3)
+        for txn in trace:
+            assert all(0 <= op.addr < 64 for op in txn.ops)
+
+    def test_read_fraction_roughly_half(self):
+        trace = generate_trace(n_txns=200, ops_per_txn=16, seed=4)
+        reads = sum(
+            1 for t in trace for op in t.ops if op.kind is OpKind.READ
+        )
+        total = 200 * 16
+        assert 0.45 < reads / total < 0.55
+
+    def test_deterministic_by_seed(self):
+        a = generate_trace(n_txns=10, ops_per_txn=4, seed=7)
+        b = generate_trace(n_txns=10, ops_per_txn=4, seed=7)
+        assert a == b
+        c = generate_trace(n_txns=10, ops_per_txn=4, seed=8)
+        assert a != c
+
+    def test_too_many_ops_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace(n_txns=1, ops_per_txn=100, locations=10)
+
+    def test_footprints(self):
+        trace = generate_trace(n_txns=5, ops_per_txn=6, seed=5)
+        for txn in trace:
+            assert txn.read_set | txn.write_set == {op.addr for op in txn.ops}
+            assert not (txn.read_set & txn.write_set)
+
+
+class TestCollisionProbability:
+    def test_paper_range(self):
+        """The paper: N = 4..32 corresponds to 1.5%-63.8% collisions."""
+        assert collision_probability(4) == pytest.approx(0.0155, abs=1e-3)
+        assert collision_probability(32) == pytest.approx(0.638, abs=1e-2)
+
+    def test_monotone_in_n(self):
+        probs = [collision_probability(n) for n in range(4, 33, 4)]
+        assert probs == sorted(probs)
+
+    def test_zero_ops(self):
+        assert collision_probability(0) == 0.0

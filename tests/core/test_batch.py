@@ -1,0 +1,134 @@
+"""The non-greedy batch validator (§4.1 deficiency / §7 future work)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Footprint
+from repro.core.batch import BatchRococoValidator
+from repro.core.rococo import RococoValidator
+
+
+def fp(reads=(), writes=(), snapshot=0, label=None):
+    return Footprint.of(reads, writes, snapshot, label)
+
+
+class TestHubSacrifice:
+    """The canonical greedy pathology: a hub transaction mutually
+    conflicting with N independent peers."""
+
+    def _batch(self, n_peers=3):
+        hub = fp(reads=range(n_peers), writes=range(n_peers), label="hub")
+        peers = [
+            fp(reads=[i], writes=[i], label=f"peer{i}") for i in range(n_peers)
+        ]
+        return [hub] + peers
+
+    def test_greedy_commits_only_the_hub(self):
+        validator = RococoValidator()
+        decisions = [validator.submit(f) for f in self._batch()]
+        assert decisions[0].committed
+        assert not any(d.committed for d in decisions[1:])
+
+    def test_batch_sacrifices_the_hub(self):
+        validator = BatchRococoValidator()
+        outcome = validator.submit_batch(self._batch())
+        labels = {f.label for f in outcome.committed}
+        assert labels == {"peer0", "peer1", "peer2"}
+        assert [f.label for f in outcome.aborted] == ["hub"]
+
+    def test_batch_beats_greedy_count(self):
+        greedy = RococoValidator()
+        greedy_commits = sum(
+            greedy.submit(f).committed for f in self._batch(n_peers=5)
+        )
+        batched = BatchRococoValidator().submit_batch(self._batch(n_peers=5))
+        assert batched.commit_count > greedy_commits
+
+
+class TestBatchBasics:
+    def test_read_only_always_committed(self):
+        outcome = BatchRococoValidator().submit_batch(
+            [fp(reads=[1, 2]), fp(reads=[3])]
+        )
+        assert outcome.commit_count == 2
+
+    def test_disjoint_batch_commits_everything(self):
+        batch = [fp(reads=[10 * i], writes=[10 * i + 1], label=i) for i in range(6)]
+        outcome = BatchRococoValidator().submit_batch(batch)
+        assert outcome.commit_count == 6
+
+    def test_chain_without_cycle_commits_everything(self):
+        # a reads what b writes: a -> b; no reverse edge.
+        batch = [
+            fp(reads=[1], writes=[2], label="a"),
+            fp(reads=[3], writes=[1], label="b"),
+        ]
+        outcome = BatchRococoValidator().submit_batch(batch)
+        assert outcome.commit_count == 2
+
+    def test_two_cycle_drops_exactly_one(self):
+        batch = [
+            fp(reads=[1], writes=[2], label="a"),
+            fp(reads=[2], writes=[1], label="b"),
+        ]
+        outcome = BatchRococoValidator().submit_batch(batch)
+        assert outcome.commit_count == 1
+
+    def test_history_conflicts_respected(self):
+        validator = BatchRococoValidator()
+        validator.submit_batch([fp(reads=[5], writes=[10], label="old")])
+        # A candidate closing a 2-cycle with history must abort even
+        # though the new batch itself is conflict-free.
+        outcome = validator.submit_batch(
+            [fp(reads=[10], writes=[5], snapshot=0, label="cyclic")]
+        )
+        assert outcome.commit_count == 0
+
+
+batches = st.lists(
+    st.tuples(
+        st.sets(st.integers(0, 7), max_size=2),
+        st.sets(st.integers(0, 7), min_size=1, max_size=2),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestBatchProperties:
+    @given(batches)
+    @settings(max_examples=60, deadline=None)
+    def test_never_worse_than_greedy(self, specs):
+        batch = [fp(r, w, 0, label=i) for i, (r, w) in enumerate(specs)]
+        greedy = RococoValidator()
+        greedy_commits = sum(greedy.submit(f).committed for f in batch)
+        outcome = BatchRococoValidator().submit_batch(batch)
+        assert outcome.commit_count >= greedy_commits
+
+    @given(batches)
+    @settings(max_examples=60, deadline=None)
+    def test_committed_subset_is_serializable(self, specs):
+        batch = [fp(r, w, 0, label=i) for i, (r, w) in enumerate(specs)]
+        outcome = BatchRococoValidator().submit_batch(batch)
+        graph = nx.DiGraph()
+        chosen = [f for f in outcome.committed if f.write_set]
+        graph.add_nodes_from(range(len(chosen)))
+        for i, a in enumerate(chosen):
+            for j, b in enumerate(chosen):
+                if i != j and a.read_set & b.write_set:
+                    graph.add_edge(i, j)
+        assert nx.is_directed_acyclic_graph(graph)
+
+    @given(st.lists(batches, min_size=1, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_multi_batch_stream_stays_sound(self, stream):
+        validator = BatchRococoValidator()
+        label = 0
+        for specs in stream:
+            batch = []
+            for r, w in specs:
+                batch.append(fp(r, w, validator.committed_count, label=label))
+                label += 1
+            validator.submit_batch(batch)  # must not raise

@@ -1,0 +1,89 @@
+"""Unit tests for the bit-matrix (2D-register) primitive."""
+
+import pytest
+
+from repro.core import BitMatrix, BitVec
+
+
+class TestConstruction:
+    def test_zero_matrix(self):
+        m = BitMatrix(3)
+        assert all(m.rows[i] == 0 for i in range(3))
+
+    def test_identity(self):
+        m = BitMatrix.identity(3)
+        for i in range(3):
+            for j in range(3):
+                assert m.get(i, j) == (i == j)
+
+    def test_row_count_validated(self):
+        with pytest.raises(ValueError):
+            BitMatrix(3, [1, 2])
+
+    def test_rows_masked(self):
+        m = BitMatrix(2, [0b111, 0])
+        assert m.rows[0] == 0b11
+
+
+class TestAccess:
+    def test_get_set(self):
+        m = BitMatrix(4)
+        m.set(1, 2)
+        assert m.get(1, 2)
+        m.set(1, 2, False)
+        assert not m.get(1, 2)
+
+    def test_row_column(self):
+        m = BitMatrix(3)
+        m.set(0, 1)
+        m.set(2, 1)
+        assert m.row(0) == BitVec(3, 0b010)
+        assert m.column(1) == BitVec(3, 0b101)
+
+    def test_set_row_and_column(self):
+        m = BitMatrix(3)
+        m.set_row(1, BitVec(3, 0b110))
+        assert m.get(1, 1) and m.get(1, 2)
+        m.set_column(0, BitVec(3, 0b011))
+        assert m.get(0, 0) and m.get(1, 0) and not m.get(2, 0)
+
+    def test_bounds_checked(self):
+        m = BitMatrix(2)
+        with pytest.raises(IndexError):
+            m.get(2, 0)
+        with pytest.raises(ValueError):
+            m.set_row(0, BitVec(3))
+
+
+class TestProducts:
+    def _matrix(self):
+        # 0 -> 1, 1 -> 2 adjacency.
+        m = BitMatrix(3)
+        m.set(0, 1)
+        m.set(1, 2)
+        return m
+
+    def test_mv(self):
+        m = self._matrix()
+        # rows intersecting {bit1} -> row 0.
+        assert m.mv(BitVec(3, 0b010)) == BitVec(3, 0b001)
+
+    def test_mv_transposed(self):
+        m = self._matrix()
+        # OR of rows selected by {bit0} -> row 0 = {bit1}.
+        assert m.mv_transposed(BitVec(3, 0b001)) == BitVec(3, 0b010)
+
+    def test_mv_transposed_equals_transpose_mv(self):
+        m = self._matrix()
+        v = BitVec(3, 0b101)
+        assert m.mv_transposed(v) == m.transpose().mv(v)
+
+    def test_transpose_involution(self):
+        m = self._matrix()
+        assert m.transpose().transpose() == m
+
+    def test_copy_independent(self):
+        m = self._matrix()
+        c = m.copy()
+        c.set(2, 0)
+        assert not m.get(2, 0)

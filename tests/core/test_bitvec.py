@@ -1,0 +1,81 @@
+"""Unit tests for the bit-vector datapath primitive."""
+
+import pytest
+
+from repro.core import BitVec
+
+
+class TestConstruction:
+    def test_masked_to_width(self):
+        v = BitVec(4, 0xFF)
+        assert v.bits == 0xF
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitVec(-1)
+
+    def test_from_indices(self):
+        v = BitVec.from_indices(8, [0, 3, 7])
+        assert v.indices() == [0, 3, 7]
+
+    def test_from_indices_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitVec.from_indices(4, [4])
+
+    def test_ones(self):
+        assert BitVec.ones(5).bits == 0b11111
+
+
+class TestBitAccess:
+    def test_get_set(self):
+        v = BitVec(8)
+        v.set(3)
+        assert v.get(3)
+        v.set(3, False)
+        assert not v.get(3)
+
+    def test_out_of_range(self):
+        v = BitVec(4)
+        with pytest.raises(IndexError):
+            v.get(4)
+        with pytest.raises(IndexError):
+            v.set(-1)
+
+
+class TestWideOps:
+    def test_and_or_xor(self):
+        a = BitVec(4, 0b1100)
+        b = BitVec(4, 0b1010)
+        assert (a & b).bits == 0b1000
+        assert (a | b).bits == 0b1110
+        assert (a ^ b).bits == 0b0110
+
+    def test_invert_stays_in_width(self):
+        v = ~BitVec(4, 0b0101)
+        assert v.bits == 0b1010
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BitVec(4) & BitVec(5)
+
+    def test_any_and_popcount(self):
+        assert not BitVec(4).any()
+        v = BitVec(4, 0b1010)
+        assert v.any()
+        assert v.popcount() == 2
+
+    def test_shifted_in_drops_oldest(self):
+        v = BitVec(4, 0b1000)
+        shifted = v.shifted_in(True)
+        assert shifted.bits == 0b0001
+        assert shifted.width == 4
+
+    def test_iter_and_len(self):
+        v = BitVec(3, 0b101)
+        assert list(v) == [True, False, True]
+        assert len(v) == 3
+
+    def test_equality_and_hash(self):
+        assert BitVec(4, 3) == BitVec(4, 3)
+        assert BitVec(4, 3) != BitVec(5, 3)
+        assert hash(BitVec(4, 3)) == hash(BitVec(4, 3))

@@ -1,0 +1,148 @@
+"""The footprint-level ROCoCo validator (§4.1/§5.3 commit rules)."""
+
+import pytest
+
+from repro.core import Footprint, RococoValidator, tocc_would_abort
+
+
+def fp(reads=(), writes=(), snapshot=0, label=None):
+    return Footprint.of(reads, writes, snapshot, label)
+
+
+class TestFastPaths:
+    def test_read_only_commits_without_validation(self):
+        v = RococoValidator()
+        decision = v.submit(fp(reads=[1, 2, 3]))
+        assert decision.committed
+        assert v.committed_count == 0  # not recorded in the closure
+        assert v.stats_read_only == 1
+
+    def test_first_writer_commits(self):
+        v = RococoValidator()
+        decision = v.submit(fp(reads=[1], writes=[2]))
+        assert decision.committed
+        assert decision.commit_index == 0
+
+
+class TestEdgeExtraction:
+    def test_observed_write_is_backward_edge(self):
+        v = RococoValidator()
+        v.submit(fp(writes=[10], label="w"))
+        # Snapshot 1: observed w's commit, so reading 10 is RAW.
+        forward, backward = v.edges(fp(reads=[10], writes=[99], snapshot=1))
+        assert forward == 0
+        assert backward == 1
+
+    def test_unobserved_write_is_forward_edge(self):
+        v = RococoValidator()
+        v.submit(fp(writes=[10], label="w"))
+        # Snapshot 0: w's update neglected -> candidate precedes w.
+        forward, backward = v.edges(fp(reads=[10], writes=[99], snapshot=0))
+        assert forward == 1
+        assert backward == 0
+
+    def test_write_overlap_is_backward_edge(self):
+        v = RococoValidator()
+        v.submit(fp(writes=[10]))
+        forward, backward = v.edges(fp(writes=[10], snapshot=0))
+        assert backward == 1
+
+    def test_write_after_committed_read_is_backward_edge(self):
+        v = RococoValidator()
+        v.submit(fp(reads=[10], writes=[11]))
+        forward, backward = v.edges(fp(writes=[10], snapshot=0))
+        assert backward == 1
+
+
+class TestCommitDecisions:
+    def test_stale_read_commits_when_no_cycle(self):
+        """The TOCC restriction removed: a transaction that missed a
+        committed update simply serializes before the updater."""
+        v = RococoValidator()
+        v.submit(fp(writes=[10]))
+        candidate = fp(reads=[10], writes=[20], snapshot=0)
+        assert tocc_would_abort(candidate, v)  # TOCC aborts this
+        decision = v.submit(candidate)  # ROCoCo does not
+        assert decision.committed
+
+    def test_stale_read_plus_conflicting_write_aborts(self):
+        """Both directions to the same committed txn: a 2-cycle."""
+        v = RococoValidator()
+        v.submit(fp(reads=[5], writes=[10]))
+        decision = v.submit(fp(reads=[10], writes=[5], snapshot=0))
+        assert not decision.committed
+        assert decision.reason == "cycle"
+
+    def test_three_txn_cycle_aborts(self):
+        v = RococoValidator()
+        # t0 writes {1, 7}; t1 misses t0's update of 1, so t1 < t0.
+        v.submit(fp(writes=[1, 7]))
+        assert v.submit(fp(reads=[1], writes=[2], snapshot=0)).committed
+        # Candidate c misses t1's update of 2 (c < t1) but overwrites
+        # t0's 7 (t0 < c): c -> t1 -> t0 -> c is a transitive cycle.
+        decision = v.submit(fp(reads=[2], writes=[7], snapshot=1))
+        assert not decision.committed
+        assert decision.reason == "cycle"
+
+    def test_three_txn_pattern_without_back_edge_commits(self):
+        # Same as above minus the overwrite of t0's data: no cycle.
+        v = RococoValidator()
+        v.submit(fp(writes=[1, 7]))
+        assert v.submit(fp(reads=[1], writes=[2], snapshot=0)).committed
+        assert v.submit(fp(reads=[2], writes=[3], snapshot=1)).committed
+
+    def test_disjoint_transactions_all_commit(self):
+        v = RococoValidator()
+        for i in range(20):
+            d = v.submit(fp(reads=[100 + i], writes=[200 + i], snapshot=i))
+            assert d.committed
+        assert v.stats_commits == 20
+        assert v.stats_aborts == 0
+
+    def test_write_skew_second_txn_aborts(self):
+        """Fig. 1 under ROCoCo: the second writer closes a WAR/WAR
+        2-cycle and must abort."""
+        v = RococoValidator()
+        assert v.submit(fp(reads=[0, 1], writes=[0], snapshot=0)).committed
+        decision = v.submit(fp(reads=[0, 1], writes=[1], snapshot=0))
+        assert not decision.committed
+
+
+class TestSerializationOrder:
+    def test_order_respects_reachability(self):
+        v = RococoValidator()
+        v.submit(fp(writes=[10], label="t0"))
+        v.submit(fp(reads=[10], writes=[20], snapshot=0, label="t1"))  # t1 < t0
+        order = v.serialization_order()
+        assert order.index("t1") < order.index("t0")
+
+    def test_order_is_topological(self):
+        v = RococoValidator()
+        v.submit(fp(writes=[1], label="a"))
+        v.submit(fp(reads=[1], writes=[2], snapshot=1, label="b"))  # a < b
+        v.submit(fp(reads=[2], writes=[3], snapshot=2, label="c"))  # b < c
+        assert v.serialization_order() == ["a", "b", "c"]
+
+
+class TestToccComparison:
+    def test_tocc_aborts_superset_of_rococo(self):
+        import random
+
+        rng = random.Random(7)
+        v = RococoValidator()
+        tocc_aborts = rococo_aborts = 0
+        for i in range(200):
+            addresses = rng.sample(range(64), 6)
+            candidate = fp(
+                reads=addresses[:3],
+                writes=addresses[3:],
+                snapshot=max(0, v.committed_count - rng.randint(0, 3)),
+            )
+            would_tocc = tocc_would_abort(candidate, v)
+            decision = v.submit(candidate)
+            if would_tocc:
+                tocc_aborts += 1
+            if not decision.committed:
+                rococo_aborts += 1
+                assert would_tocc, "ROCoCo aborted where TOCC committed"
+        assert rococo_aborts <= tocc_aborts

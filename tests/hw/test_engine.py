@@ -1,0 +1,97 @@
+"""Pipeline timing of the assembled offload engine."""
+
+import pytest
+
+from repro.hw import (
+    ClockDomain,
+    FpgaValidationEngine,
+    ValidationRequest,
+    harp2_cci_link,
+)
+
+
+def req(reads=(), writes=(), snapshot=0, label=None):
+    return ValidationRequest(label, tuple(reads), tuple(writes), snapshot)
+
+
+class TestLatency:
+    def test_single_validation_round_trip(self):
+        engine = FpgaValidationEngine(window=8)
+        response = engine.submit(req(reads=[1, 2], writes=[3], snapshot=0), now_ns=0.0)
+        assert response.verdict.committed
+        # One cacheline of addresses: 200 ns there, 1 detector cycle +
+        # 2 manager cycles (15 ns), 400 ns back, plus edge alignment.
+        assert 600.0 <= response.round_trip_ns <= 640.0
+
+    def test_round_trip_under_a_microsecond(self):
+        """The §6.4 claim at the single-transaction level."""
+        engine = FpgaValidationEngine()
+        response = engine.submit(req(reads=range(8), writes=[99], snapshot=0), 0.0)
+        assert response.round_trip_ns < 1000.0
+
+    def test_bigger_footprint_takes_longer(self):
+        small = FpgaValidationEngine().submit(req(reads=[1], writes=[2]), 0.0)
+        big = FpgaValidationEngine().submit(
+            req(reads=range(32), writes=range(100, 132)), 0.0
+        )
+        assert big.round_trip_ns > small.round_trip_ns
+
+    def test_timing_is_monotone_through_stages(self):
+        engine = FpgaValidationEngine()
+        r = engine.submit(req(reads=[1], writes=[2]), now_ns=10.0)
+        assert r.sent_ns <= r.arrived_ns <= r.started_ns <= r.finished_ns <= r.ready_ns
+
+
+class TestPipelining:
+    def test_back_to_back_amortization(self):
+        """Fig. 6(d): pipelined validation amortizes the link latency —
+        100 overlapped validations finish far sooner than 100 serial
+        round trips."""
+        engine = FpgaValidationEngine()
+        last_ready = 0.0
+        for i in range(100):
+            r = engine.submit(req(reads=[i], writes=[1000 + i], snapshot=i), now_ns=float(i))
+            last_ready = max(last_ready, r.ready_ns)
+        serial = 100 * harp2_cci_link().round_trip_ns
+        assert last_ready < 0.5 * serial
+
+    def test_initiation_interval_one_cacheline(self):
+        engine = FpgaValidationEngine()
+        a = engine.submit(req(reads=[1], writes=[2]), 0.0)
+        b = engine.submit(req(reads=[3], writes=[4]), 0.0)
+        # Second request starts exactly one cycle after the first.
+        assert b.started_ns - a.started_ns == pytest.approx(engine.clock.period_ns)
+
+    def test_queueing_accounted(self):
+        engine = FpgaValidationEngine()
+        for i in range(50):
+            engine.submit(req(reads=range(32), writes=range(50, 82)), now_ns=0.0)
+        assert engine.mean_queueing_ns > 0.0
+
+    def test_throughput_limit(self):
+        engine = FpgaValidationEngine()
+        # 200 MHz, one 8-address txn per cycle: 200 validations/us.
+        assert engine.throughput_limit_per_us == pytest.approx(200.0)
+
+
+class TestDecisionsAndStats:
+    def test_decisions_flow_through(self):
+        engine = FpgaValidationEngine(window=8)
+        engine.submit(req(reads=[5], writes=[10], snapshot=0), 0.0)
+        r = engine.submit(req(reads=[10], writes=[5], snapshot=0), 1.0)
+        assert not r.verdict.committed
+
+    def test_stats_accumulate(self):
+        engine = FpgaValidationEngine()
+        for i in range(10):
+            engine.submit(req(reads=[i], writes=[100 + i], snapshot=i), float(i * 10))
+        assert engine.stats_requests == 10
+        assert engine.stats_busy_cycles >= 10 * 3
+        assert engine.mean_round_trip_ns > 600.0
+
+    def test_slower_clock_raises_latency(self):
+        fast = FpgaValidationEngine(clock=ClockDomain(200_000_000))
+        slow = FpgaValidationEngine(clock=ClockDomain(100_000_000))
+        rf = fast.submit(req(reads=range(16), writes=range(20, 36)), 0.0)
+        rs = slow.submit(req(reads=range(16), writes=range(20, 36)), 0.0)
+        assert rs.round_trip_ns > rf.round_trip_ns

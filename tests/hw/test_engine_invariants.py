@@ -1,0 +1,158 @@
+"""Deeper engine invariants: ordering, decision consistency, scaling."""
+
+import pytest
+
+from repro.core import Footprint, SlidingWindowValidator
+from repro.hw import (
+    FpgaValidationEngine,
+    InterconnectLink,
+    ValidationRequest,
+    harp2_cci_link,
+)
+from repro.signatures import SignatureConfig
+
+
+def req(reads=(), writes=(), snapshot=0, label=None):
+    return ValidationRequest(label, tuple(reads), tuple(writes), snapshot)
+
+
+class TestOrdering:
+    def test_decision_order_is_submission_order(self):
+        """The pipeline is in-order: a later submission can never be
+        decided against a state that excludes an earlier commit."""
+        engine = FpgaValidationEngine(window=8)
+        engine.submit(req(writes=[10], snapshot=0, label="first"), 0.0)
+        # The second txn read 10 *before* the first committed; the
+        # engine must see the first commit when deciding the second.
+        response = engine.submit(req(reads=[10], writes=[20], snapshot=0), 1.0)
+        assert response.verdict.committed  # stale read, no cycle
+        assert engine.manager.total_commits == 2
+
+    def test_ready_times_monotone_for_simultaneous_sends(self):
+        engine = FpgaValidationEngine()
+        times = [
+            engine.submit(req(reads=[i], writes=[100 + i], snapshot=i), 0.0).ready_ns
+            for i in range(10)
+        ]
+        assert times == sorted(times)
+
+    def test_commit_indices_dense(self):
+        engine = FpgaValidationEngine(window=16)
+        indices = []
+        for i in range(10):
+            v = engine.submit(req(writes=[1000 + i], snapshot=i), float(i)).verdict
+            indices.append(v.commit_index)
+        assert indices == list(range(10))
+
+
+class TestDecisionConsistency:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_engine_equals_bare_manager_decisions(self, seed):
+        """Timing must never change *decisions*: the engine and a
+        plain windowed validator agree on every verdict."""
+        import random
+
+        rng = random.Random(seed)
+        engine = FpgaValidationEngine(window=8)
+        exact = SlidingWindowValidator(window=8)
+        now = 0.0
+        for i in range(150):
+            addrs = rng.sample(range(48), 4)
+            snapshot = max(0, engine.manager.total_commits - rng.randint(0, 4))
+            hw = engine.submit(req(addrs[:2], addrs[2:], snapshot, label=i), now)
+            sw = exact.submit(Footprint.of(addrs[:2], addrs[2:], snapshot, label=i))
+            assert hw.verdict.committed == sw.committed, (seed, i)
+            now += rng.random() * 100.0
+
+    def test_signature_false_positives_only_add_aborts(self):
+        """A tiny (collision-prone) signature can abort transactions an
+        exact validator commits — never the other way around."""
+        import random
+
+        rng = random.Random(7)
+        tiny = SignatureConfig(bits=32, partitions=2, seed=3)
+        engine = FpgaValidationEngine(window=8, config=tiny)
+        exact = SlidingWindowValidator(window=8)
+        fp_aborts = missed = 0
+        for i in range(200):
+            addrs = rng.sample(range(512), 4)
+            snapshot = max(0, exact.total_commits - rng.randint(0, 3))
+            sw = exact.submit(Footprint.of(addrs[:2], addrs[2:], snapshot, label=i))
+            hw = engine.submit(req(addrs[:2], addrs[2:], snapshot, label=i), float(i))
+            if sw.committed and not hw.verdict.committed:
+                fp_aborts += 1
+            # Keep the two validators in the same committed state by
+            # resynchronizing when they diverge: count and move on.
+            if sw.committed != hw.verdict.committed:
+                missed += 1
+                engine = FpgaValidationEngine(window=8, config=tiny)
+                exact = SlidingWindowValidator(window=8)
+        assert fp_aborts >= 0  # presence depends on collisions
+        # With 32-bit signatures over 512 addresses, collisions are
+        # near-certain across 200 transactions.
+        assert missed > 0
+
+
+class TestLinkScaling:
+    def test_zero_latency_link_still_pipelines(self):
+        free = InterconnectLink(0.0, 0.0, 0.0)
+        engine = FpgaValidationEngine(link=free)
+        r = engine.submit(req(reads=[1], writes=[2]), 0.0)
+        # Pure pipeline cost: 3 cycles at 200 MHz.
+        assert r.round_trip_ns == pytest.approx(15.0)
+
+    def test_round_trip_decomposition(self):
+        engine = FpgaValidationEngine()
+        r = engine.submit(req(reads=[1], writes=[2]), 0.0)
+        link = harp2_cci_link()
+        pipeline = r.finished_ns - r.started_ns
+        assert r.round_trip_ns == pytest.approx(
+            link.to_device_ns + (r.started_ns - r.arrived_ns) + pipeline + link.from_device_ns,
+            abs=engine.clock.period_ns,
+        )
+
+    def test_busy_cycles_track_occupancy(self):
+        engine = FpgaValidationEngine()
+        engine.submit(req(reads=range(16), writes=range(20, 28)), 0.0)
+        # 24 addresses = 3 cachelines + 2 manager cycles.
+        assert engine.stats_busy_cycles == 5
+
+
+class TestSoftwareEngine:
+    """Fig. 6(c)'s dedicated-thread validator: same decisions, serial
+    service."""
+
+    def test_decision_identical_to_fpga(self):
+        import random
+
+        from repro.hw import SoftwareValidationEngine
+
+        rng = random.Random(11)
+        fpga = FpgaValidationEngine(window=8)
+        soft = SoftwareValidationEngine(window=8)
+        for i in range(150):
+            addrs = rng.sample(range(64), 4)
+            snapshot = max(0, fpga.manager.total_commits - rng.randint(0, 3))
+            request = req(addrs[:2], addrs[2:], snapshot, label=i)
+            a = fpga.submit(request, float(i))
+            b = soft.submit(request, float(i))
+            assert a.verdict.committed == b.verdict.committed, i
+
+    def test_serial_service_does_not_overlap(self):
+        from repro.hw import SoftwareValidationEngine
+
+        engine = SoftwareValidationEngine(window=8)
+        first = engine.submit(req(reads=range(8), writes=[99], snapshot=0), 0.0)
+        second = engine.submit(req(reads=range(8), writes=[98], snapshot=0), 0.0)
+        assert second.started_ns >= first.finished_ns
+
+    def test_slower_than_fpga_under_load(self):
+        from repro.hw import SoftwareValidationEngine
+
+        fpga = FpgaValidationEngine()
+        soft = SoftwareValidationEngine()
+        for i in range(50):
+            request = req(reads=range(8), writes=[1000 + i], snapshot=i)
+            fpga.submit(request, float(i * 10))
+            soft.submit(request, float(i * 10))
+        assert soft.mean_round_trip_ns > fpga.mean_round_trip_ns

@@ -1,0 +1,57 @@
+"""The §6.5 resource/Fmax model: anchor reproduction and trends."""
+
+import pytest
+
+from repro.hw import estimate, paper_table
+
+
+class TestAnchor:
+    def test_paper_numbers_reproduced(self):
+        est = paper_table()
+        assert est.registers == 113_485
+        assert est.alms == 249_442
+        assert est.dsps == 223
+        assert est.bram_bits == 2_055_802
+        assert est.fmax_mhz == pytest.approx(200.0)
+
+    def test_paper_utilizations(self):
+        est = paper_table()
+        assert est.register_pct == pytest.approx(62.9, abs=0.1)
+        assert est.alm_pct == pytest.approx(58.39, abs=0.05)
+        assert est.dsp_pct == pytest.approx(14.7, abs=0.1)
+        assert est.bram_pct == pytest.approx(3.7, abs=0.1)
+        assert est.fits
+
+
+class TestTrends:
+    def test_1024_bit_filter_still_fits_but_slower(self):
+        """§6.5: the 1024-bit variant fits at a lower clock."""
+        wide = estimate(window=64, signature_bits=1024, partitions=4)
+        assert wide.fits
+        assert wide.fmax_mhz < 200.0
+
+    def test_resources_monotone_in_window(self):
+        small = estimate(window=32)
+        large = estimate(window=128)
+        assert small.alms < large.alms
+        assert small.registers < large.registers
+        assert small.bram_bits < large.bram_bits
+
+    def test_resources_monotone_in_signature(self):
+        assert estimate(signature_bits=256).alms < estimate(signature_bits=1024).alms
+
+    def test_fmax_independent_of_window(self):
+        """The critical path is the bloom filter, not the matrix."""
+        assert estimate(window=32).fmax_mhz == estimate(window=128).fmax_mhz
+
+    def test_dsps_scale_with_partitions(self):
+        assert estimate(partitions=8).dsps > estimate(partitions=4).dsps
+
+    def test_huge_matrix_eventually_does_not_fit(self):
+        assert not estimate(window=1024).fits
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            estimate(window=0)
+        with pytest.raises(ValueError):
+            estimate(signature_bits=0)

@@ -1,0 +1,95 @@
+"""Clock, link and queue timing substrate."""
+
+import pytest
+
+from repro.hw import ClockDomain, InterconnectLink, LatencyQueue, harp2_cci_link, pcie_link
+
+
+class TestClock:
+    def test_period_at_200mhz(self):
+        assert ClockDomain(200_000_000).period_ns == pytest.approx(5.0)
+
+    def test_cycles_roundtrip(self):
+        clk = ClockDomain(200_000_000)
+        assert clk.cycles_to_ns(3) == pytest.approx(15.0)
+        assert clk.ns_to_cycles(15.0) == 3
+        assert clk.ns_to_cycles(15.1) == 4
+
+    def test_align_up(self):
+        clk = ClockDomain(200_000_000)
+        assert clk.align_up(12.0) == pytest.approx(15.0)
+        assert clk.align_up(15.0) == pytest.approx(15.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ClockDomain(0)
+        clk = ClockDomain()
+        with pytest.raises(ValueError):
+            clk.cycles_to_ns(-1)
+        with pytest.raises(ValueError):
+            clk.ns_to_cycles(-1.0)
+
+
+class TestLink:
+    def test_harp2_constants_match_paper(self):
+        link = harp2_cci_link()
+        assert link.to_device_ns == 200.0
+        assert link.from_device_ns == 400.0
+        assert link.round_trip_ns <= 600.0
+
+    def test_pcie_slower(self):
+        assert pcie_link().round_trip_ns > harp2_cci_link().round_trip_ns
+
+    def test_streaming_beats(self):
+        link = harp2_cci_link()
+        assert link.request_ns(1) == pytest.approx(200.0)
+        assert link.request_ns(3) == pytest.approx(210.0)
+
+    def test_lines_for_addresses(self):
+        assert InterconnectLink.lines_for_addresses(1) == 1
+        assert InterconnectLink.lines_for_addresses(8) == 1
+        assert InterconnectLink.lines_for_addresses(9) == 2
+        assert InterconnectLink.lines_for_addresses(0) == 1
+
+    def test_zero_cachelines_rejected(self):
+        with pytest.raises(ValueError):
+            harp2_cci_link().request_ns(0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            InterconnectLink(-1.0, 0.0, 0.0)
+
+
+class TestLatencyQueue:
+    def test_visibility_delay(self):
+        q = LatencyQueue(latency_ns=100.0)
+        q.push("a", now_ns=0.0)
+        assert q.pop(now_ns=50.0) is None
+        visible, payload = q.pop(now_ns=100.0)
+        assert payload == "a"
+        assert visible == pytest.approx(100.0)
+
+    def test_fifo_order_for_same_time(self):
+        q = LatencyQueue(latency_ns=0.0)
+        q.push("a", 0.0)
+        q.push("b", 0.0)
+        assert q.pop(0.0)[1] == "a"
+        assert q.pop(0.0)[1] == "b"
+
+    def test_peek_time(self):
+        q = LatencyQueue(latency_ns=10.0)
+        assert q.peek_time() is None
+        q.push("x", 5.0)
+        assert q.peek_time() == pytest.approx(15.0)
+
+    def test_max_depth_tracked(self):
+        q = LatencyQueue()
+        for i in range(5):
+            q.push(i, 0.0)
+        assert q.max_depth == 5
+        q.pop(0.0)
+        assert q.max_depth == 5
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyQueue(-1.0)

@@ -1,0 +1,72 @@
+"""Shared workloads for runtime tests."""
+
+import pytest
+
+from repro.runtime import Memory, Read, Simulator, Transaction, Work, Write
+
+
+def make_counter_program(counter_addr, increments):
+    """Each thread increments a shared counter `increments` times."""
+
+    def body():
+        value = yield Read(counter_addr)
+        yield Work(20)
+        yield Write(counter_addr, value + 1)
+        return value
+
+    def program(tid):
+        for _ in range(increments):
+            yield Transaction(body, label="inc")
+            yield Work(30)
+
+    return program
+
+
+def make_transfer_program(accounts_base, n_accounts, transfers, seed_shift=0):
+    """Random pairwise transfers preserving the total balance."""
+
+    def make_body(src, dst):
+        def body():
+            a = yield Read(src)
+            b = yield Read(dst)
+            yield Work(25)
+            yield Write(src, a - 1)
+            yield Write(dst, b + 1)
+            return None
+
+        return body
+
+    def program(tid):
+        state = (tid + 1 + seed_shift) * 2654435761 % 2**32
+        for _ in range(transfers):
+            state = (state * 1103515245 + 12345) % 2**31
+            src = accounts_base + state % n_accounts
+            state = (state * 1103515245 + 12345) % 2**31
+            dst = accounts_base + state % n_accounts
+            if src == dst:
+                dst = accounts_base + (state + 1) % n_accounts
+            yield Transaction(make_body(src, dst), label="transfer")
+
+    return program
+
+
+def run_counter(backend, n_threads, increments=20, seed=0):
+    memory = Memory()
+    counter = memory.alloc(1)
+    memory.store(counter, 0)
+    sim = Simulator(backend, n_threads, memory=memory, seed=seed, workload_name="counter")
+    program = make_counter_program(counter, increments)
+    stats = sim.run([program] * n_threads)
+    return memory.load(counter), stats
+
+
+def run_transfers(backend, n_threads, n_accounts=32, transfers=25, seed=0):
+    memory = Memory()
+    base = memory.alloc(n_accounts)
+    for i in range(n_accounts):
+        memory.store(base + i, 100)
+    sim = Simulator(backend, n_threads, memory=memory, seed=seed, workload_name="bank")
+    program = make_transfer_program(base, n_accounts, transfers)
+    stats = sim.run([program] * n_threads)
+    total = sum(memory.load(base + i) for i in range(n_accounts))
+    return total, stats

@@ -1,0 +1,192 @@
+"""Cross-backend correctness: every system preserves invariants."""
+
+import pytest
+
+from repro.runtime import (
+    CoarseLockBackend,
+    RococoTMBackend,
+    SequentialBackend,
+    TinySTMBackend,
+    TsxBackend,
+)
+from .conftest import run_counter, run_transfers
+
+CONCURRENT_BACKENDS = [CoarseLockBackend, TinySTMBackend, TsxBackend, RococoTMBackend]
+
+
+class TestCounterInvariant:
+    @pytest.mark.parametrize("backend_cls", CONCURRENT_BACKENDS)
+    @pytest.mark.parametrize("n_threads", [1, 4, 8])
+    def test_no_lost_updates(self, backend_cls, n_threads):
+        value, stats = run_counter(backend_cls(), n_threads, increments=12)
+        assert value == n_threads * 12
+        assert stats.commits == n_threads * 12
+
+    @pytest.mark.parametrize("backend_cls", CONCURRENT_BACKENDS)
+    def test_deterministic(self, backend_cls):
+        v1, s1 = run_counter(backend_cls(), 6, increments=8, seed=5)
+        v2, s2 = run_counter(backend_cls(), 6, increments=8, seed=5)
+        assert (v1, s1.makespan_ns, s1.aborts) == (v2, s2.makespan_ns, s2.aborts)
+
+
+class TestBankInvariant:
+    @pytest.mark.parametrize("backend_cls", CONCURRENT_BACKENDS)
+    @pytest.mark.parametrize("n_threads", [2, 8])
+    def test_total_balance_conserved(self, backend_cls, n_threads):
+        total, stats = run_transfers(backend_cls(), n_threads, n_accounts=24, transfers=20)
+        assert total == 24 * 100
+        assert stats.commits == n_threads * 20
+
+
+class TestLockBaseline:
+    def test_global_lock_never_aborts(self):
+        _, stats = run_counter(CoarseLockBackend(), 8, increments=10)
+        assert stats.aborts == 0
+
+    def test_global_lock_serializes(self):
+        """More threads cannot make the lock faster per increment."""
+        _, s2 = run_counter(CoarseLockBackend(), 2, increments=20)
+        _, s8 = run_counter(CoarseLockBackend(), 8, increments=20)
+        # Total work quadrupled but makespan must grow roughly as much.
+        assert s8.makespan_ns > 2.0 * s2.makespan_ns
+
+
+class TestTinySTM:
+    def test_aborts_counted_by_cause(self):
+        _, stats = run_counter(TinySTMBackend(), 8, increments=15)
+        causes = set(stats.aborts_by_cause)
+        assert causes <= {"cpu-read-validation", "cpu-commit-validation"}
+        assert stats.aborts > 0
+
+    def test_validation_time_accrued(self):
+        _, stats = run_counter(TinySTMBackend(), 4, increments=10)
+        assert stats.validation_ns > 0
+        assert stats.validations > 0
+
+    def test_read_only_txns_commit_free(self):
+        from repro.runtime import Memory, Read, Simulator, Transaction
+
+        memory = Memory()
+        addr = memory.alloc(1)
+
+        def body():
+            return (yield Read(addr))
+
+        def program(tid):
+            for _ in range(5):
+                yield Transaction(body)
+
+        sim = Simulator(TinySTMBackend(), 4, memory=memory)
+        stats = sim.run([program] * 4)
+        assert stats.read_only_commits == 20
+        assert stats.aborts == 0
+
+
+class TestTsx:
+    def test_fallback_bounds_retries(self):
+        """Even pathological contention terminates via the lock."""
+        value, stats = run_counter(TsxBackend(), 8, increments=15)
+        assert value == 8 * 15
+        # Footnote 10's ceiling: <= 5 aborts per commit (83.3%).
+        assert stats.abort_rate <= 5 / 6 + 1e-9
+
+    def test_conflicts_cause_remote_aborts(self):
+        _, stats = run_counter(TsxBackend(), 8, increments=15)
+        assert stats.aborts_by_cause.get("cpu-conflict", 0) > 0
+
+    def test_capacity_abort_then_fallback_commit(self):
+        from repro.runtime import Memory, Simulator, Transaction, Write
+
+        memory = Memory()
+        base = memory.alloc(8 * 600)  # > 512 cachelines
+
+        def body():
+            for line in range(600):
+                yield Write(base + 8 * line, 1)
+
+        def program(tid):
+            yield Transaction(body)
+
+        sim = Simulator(TsxBackend(), 1, memory=memory)
+        stats = sim.run([program])
+        assert stats.commits == 1
+        # Every hardware attempt dies (capacity, or a spurious abort
+        # first — a 600-op transaction has plenty of exposure); the
+        # commit happens on the fallback lock after the retry budget.
+        assert stats.aborts >= 5
+        assert stats.aborts_by_cause.get("cpu-capacity-write", 0) + stats.aborts_by_cause.get(
+            "cpu-spurious", 0
+        ) == stats.aborts
+
+    def test_undo_restores_memory_on_abort(self):
+        """After a conflict-doomed attempt, memory shows no trace."""
+        value, _ = run_counter(TsxBackend(), 6, increments=10)
+        assert value == 60  # any stray dirty write would break this
+
+
+class TestRococoTM:
+    def test_read_only_fast_path(self):
+        from repro.runtime import Memory, Read, Simulator, Transaction
+
+        memory = Memory()
+        addr = memory.alloc(1)
+
+        def body():
+            return (yield Read(addr))
+
+        def program(tid):
+            for _ in range(5):
+                yield Transaction(body)
+
+        backend = RococoTMBackend()
+        sim = Simulator(backend, 4, memory=memory)
+        stats = sim.run([program] * 4)
+        assert stats.read_only_commits == 20
+        assert backend.engine.stats_requests == 0  # never left the CPU
+
+    def test_write_txns_validated_on_fpga(self):
+        backend = RococoTMBackend()
+        run_counter(backend, 4, increments=10)
+        assert backend.engine.stats_requests >= 40
+
+    def test_fpga_aborts_tracked_separately(self):
+        _, stats = run_counter(RococoTMBackend(), 8, increments=15)
+        assert stats.fpga_aborts <= stats.aborts
+
+    def test_validation_includes_link_latency(self):
+        _, stats = run_counter(RococoTMBackend(), 2, increments=10)
+        # Each write-commit waits at least the ~600 ns round trip.
+        assert stats.validation_ns / stats.validations >= 600.0
+
+    def test_global_ts_counts_write_commits(self):
+        backend = RococoTMBackend()
+        _, stats = run_counter(backend, 4, increments=10)
+        assert backend.global_ts == stats.commits - stats.read_only_commits
+
+
+class TestTinySTMEtl:
+    def test_counter_invariant(self):
+        from repro.runtime import TinySTMEtlBackend
+
+        value, stats = run_counter(TinySTMEtlBackend(), 8, increments=12)
+        assert value == 96
+        assert stats.commits == 96
+
+    def test_lock_conflicts_reported(self):
+        from repro.runtime import TinySTMEtlBackend
+
+        _, stats = run_counter(TinySTMEtlBackend(), 8, increments=15)
+        assert stats.aborts_by_cause.get("cpu-lock-conflict", 0) > 0
+
+    def test_transfers_conserved(self):
+        from repro.runtime import TinySTMEtlBackend
+
+        total, _ = run_transfers(TinySTMEtlBackend(), 8, n_accounts=24, transfers=15)
+        assert total == 2400
+
+    def test_locks_released_after_abort(self):
+        """A livelock would trip max_steps; completion proves release."""
+        from repro.runtime import TinySTMEtlBackend
+
+        value, _ = run_counter(TinySTMEtlBackend(), 6, increments=20)
+        assert value == 120

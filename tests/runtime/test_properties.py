@@ -1,0 +1,89 @@
+"""Property-based tests for the runtime: every backend, random
+workloads, exact invariants (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    CoarseLockBackend,
+    Memory,
+    Read,
+    RococoTMBackend,
+    Simulator,
+    TinySTMBackend,
+    Transaction,
+    TsxBackend,
+    Work,
+    Write,
+)
+
+BACKENDS = [CoarseLockBackend, TinySTMBackend, TsxBackend, RococoTMBackend]
+
+#: Per-thread job lists: each job is a set of (addr, delta) increments
+#: applied atomically.
+jobs_strategy = st.lists(
+    st.lists(  # one thread's jobs
+        st.lists(  # one transaction's increments
+            st.tuples(st.integers(0, 7), st.integers(-3, 3)),
+            min_size=1,
+            max_size=4,
+        ),
+        max_size=5,
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def _run(backend_cls, thread_jobs, seed):
+    memory = Memory()
+    base = memory.alloc(8)
+    expected = [0] * 8
+
+    def make_body(increments):
+        def body():
+            for addr, delta in increments:
+                value = yield Read(base + addr)
+                yield Work(10)
+                yield Write(base + addr, value + delta)
+
+        return body
+
+    def make_program(jobs):
+        def program(tid):
+            for increments in jobs:
+                yield Transaction(make_body(increments))
+
+        return program
+
+    for jobs in thread_jobs:
+        for increments in jobs:
+            for addr, delta in increments:
+                expected[addr] += delta
+
+    programs = [make_program(jobs) for jobs in thread_jobs]
+    sim = Simulator(backend_cls(), len(programs), memory=memory, seed=seed)
+    stats = sim.run(programs)
+    final = [memory.load(base + i) for i in range(8)]
+    return final, expected, stats
+
+
+class TestAtomicIncrements:
+    @pytest.mark.parametrize("backend_cls", BACKENDS)
+    @given(thread_jobs=jobs_strategy, seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_no_lost_updates(self, backend_cls, thread_jobs, seed):
+        final, expected, stats = _run(backend_cls, thread_jobs, seed)
+        assert final == expected
+        assert stats.commits == sum(len(jobs) for jobs in thread_jobs)
+
+    @pytest.mark.parametrize("backend_cls", BACKENDS)
+    @given(thread_jobs=jobs_strategy, seed=st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_deterministic_replay(self, backend_cls, thread_jobs, seed):
+        a = _run(backend_cls, thread_jobs, seed)
+        b = _run(backend_cls, thread_jobs, seed)
+        assert a[0] == b[0]
+        assert a[2].makespan_ns == b[2].makespan_ns
+        assert a[2].aborts == b[2].aborts

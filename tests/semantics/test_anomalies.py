@@ -1,0 +1,48 @@
+"""The anomaly catalog and its classification matrix."""
+
+import pytest
+
+from repro.semantics import CATALOG, classify
+from repro.semantics.anomalies import dirty_write, lost_update, read_skew, write_skew
+
+
+class TestCatalogMatrix:
+    @pytest.mark.parametrize("case", CATALOG, ids=lambda c: c.name)
+    def test_classification_matches_expectation(self, case):
+        result = classify(case.build())
+        assert result["snapshot-isolation"] == case.admitted_by_si, case.name
+        assert result["serializability"] == case.admitted_by_serializability, case.name
+
+    def test_write_skew_is_the_si_ser_gap(self):
+        gaps = [
+            c for c in CATALOG if c.admitted_by_si and not c.admitted_by_serializability
+        ]
+        assert [c.name for c in gaps] == ["write-skew"]
+
+    def test_dirty_write_is_the_reverse_gap(self):
+        reverse = [
+            c for c in CATALOG if not c.admitted_by_si and c.admitted_by_serializability
+        ]
+        assert [c.name for c in reverse] == ["dirty-write"]
+
+
+class TestIndividualAnomalies:
+    def test_lost_update_cycle(self):
+        h = lost_update()
+        rw = h.rw_dependencies()
+        assert rw.related(1, 2) and rw.related(2, 1)
+
+    def test_read_skew_torn_view(self):
+        h = read_skew()
+        rec = h.record(1)
+        assert rec.reads[0] == -1  # old x
+        assert rec.reads[1] == 2   # new y
+
+    def test_dirty_write_collapses_to_waw(self):
+        h = dirty_write()
+        rw = h.rw_dependencies()
+        assert rw.related(1, 2)
+        assert not rw.related(2, 1)
+
+    def test_builders_are_fresh(self):
+        assert write_skew() is not write_skew()

@@ -1,0 +1,163 @@
+"""Unit tests for multi-version histories and dependency extraction."""
+
+import pytest
+
+from repro.semantics import INITIAL_VERSION, History, history_from_steps
+
+
+class TestRecording:
+    def test_begin_twice_rejected(self):
+        h = History()
+        h.begin(1)
+        with pytest.raises(ValueError):
+            h.begin(1)
+
+    def test_read_before_begin_rejected(self):
+        h = History()
+        with pytest.raises(ValueError):
+            h.read(1, 0)
+
+    def test_ops_after_commit_rejected(self):
+        h = History()
+        h.begin(1)
+        h.commit(1)
+        with pytest.raises(ValueError):
+            h.write(1, 0)
+
+    def test_read_defaults_to_latest_committed_version(self):
+        h = History()
+        h.begin(1)
+        h.write(1, 0)
+        h.commit(1)
+        h.begin(2)
+        assert h.read(2, 0) == 1
+
+    def test_read_of_untouched_object_sees_initial_version(self):
+        h = History()
+        h.begin(1)
+        assert h.read(1, 0) == INITIAL_VERSION
+
+    def test_first_read_version_is_retained(self):
+        h = History()
+        h.begin(1)
+        h.read(1, 0, version=INITIAL_VERSION)
+        h.read(1, 0, version=42)  # later read: snapshot keeps the first
+        assert h.record(1).reads[0] == INITIAL_VERSION
+
+    def test_aborted_txn_leaves_no_version(self):
+        h = History()
+        h.begin(1)
+        h.write(1, 0)
+        h.abort(1)
+        assert h.latest_version(0) == INITIAL_VERSION
+        assert h.committed == []
+
+    def test_version_order(self):
+        h = history_from_steps(
+            [
+                ("begin", 1), ("write", 1, 0), ("commit", 1),
+                ("begin", 2), ("write", 2, 0), ("commit", 2),
+            ]
+        )
+        assert h.version_order(0) == [INITIAL_VERSION, 1, 2]
+
+    def test_footprint_properties(self):
+        h = history_from_steps(
+            [("begin", 1), ("read", 1, 5), ("write", 1, 6), ("commit", 1)]
+        )
+        rec = h.record(1)
+        assert rec.read_set == {5}
+        assert rec.write_set == {6}
+        assert not rec.is_read_only
+
+    def test_read_only_footprint(self):
+        h = history_from_steps([("begin", 1), ("read", 1, 5), ("commit", 1)])
+        assert h.record(1).is_read_only
+
+
+class TestDependencies:
+    def test_raw_edge(self):
+        h = history_from_steps(
+            [
+                ("begin", 1), ("write", 1, 0), ("commit", 1),
+                ("begin", 2), ("read", 2, 0), ("commit", 2),
+            ]
+        )
+        assert h.rw_dependencies().related(1, 2)
+
+    def test_war_edge(self):
+        # 2 reads the initial version; 1 then overwrites it.
+        h = history_from_steps(
+            [
+                ("begin", 2), ("read", 2, 0), ("commit", 2),
+                ("begin", 1), ("write", 1, 0), ("commit", 1),
+            ]
+        )
+        rw = h.rw_dependencies()
+        assert rw.related(2, 1)
+        assert not rw.related(1, 2)
+
+    def test_waw_edge(self):
+        h = history_from_steps(
+            [
+                ("begin", 1), ("write", 1, 0), ("commit", 1),
+                ("begin", 2), ("write", 2, 0), ("commit", 2),
+            ]
+        )
+        assert h.rw_dependencies().related(1, 2)
+
+    def test_war_targets_only_next_version(self):
+        # Reader of v_init precedes writer 1 but not transitively-added 2.
+        h = history_from_steps(
+            [
+                ("begin", 3), ("read", 3, 0), ("commit", 3),
+                ("begin", 1), ("write", 1, 0), ("commit", 1),
+                ("begin", 2), ("write", 2, 0), ("commit", 2),
+            ]
+        )
+        rw = h.rw_dependencies()
+        assert rw.related(3, 1)
+        assert not rw.related(3, 2)  # only via transitivity through 1
+
+    def test_aborted_txns_excluded_by_default(self):
+        h = History()
+        h.begin(1)
+        h.write(1, 0)
+        h.abort(1)
+        h.begin(2)
+        h.read(2, 0)
+        h.commit(2)
+        rw = h.rw_dependencies()
+        assert 1 not in rw.elements
+
+    def test_write_skew_creates_cycle(self):
+        h = history_from_steps(
+            [
+                ("begin", 1), ("begin", 2),
+                ("read", 1, 0), ("read", 1, 1),
+                ("read", 2, 0), ("read", 2, 1),
+                ("write", 1, 0), ("write", 2, 1),
+                ("commit", 1), ("commit", 2),
+            ]
+        )
+        assert not h.rw_dependencies().is_acyclic()
+
+    def test_real_time_order(self):
+        h = history_from_steps(
+            [
+                ("begin", 1), ("commit", 1),
+                ("begin", 2), ("commit", 2),
+            ]
+        )
+        rt = h.real_time_order()
+        assert rt.related(1, 2)
+        assert not rt.related(2, 1)
+
+    def test_overlapping_txns_are_rt_concurrent(self):
+        h = history_from_steps(
+            [
+                ("begin", 1), ("begin", 2),
+                ("commit", 1), ("commit", 2),
+            ]
+        )
+        assert h.real_time_order().concurrent(1, 2)

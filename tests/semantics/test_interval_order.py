@@ -1,0 +1,131 @@
+"""Interval orders, the 2+2 obstruction, phantom orderings (Fig. 2/3)."""
+
+import pytest
+
+from repro.semantics import (
+    Interval,
+    Relation,
+    admissible_timestamp_orders,
+    find_two_plus_two,
+    history_from_steps,
+    history_real_time_intervals,
+    interval_precedence,
+    is_interval_order,
+    is_strict_serializable,
+    phantom_orderings,
+    serializable_but_not_strictly,
+)
+
+
+class TestIntervals:
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_precedence_is_disjointness(self):
+        a, b = Interval(0, 1, "a"), Interval(2, 3, "b")
+        assert a.precedes(b)
+        assert not b.precedes(a)
+        assert not a.overlaps(b)
+
+    def test_overlap(self):
+        a, b = Interval(0, 2, "a"), Interval(1, 3, "b")
+        assert a.overlaps(b)
+        assert not a.precedes(b)
+
+    def test_interval_precedence_relation(self):
+        rel = interval_precedence(
+            [Interval(0, 1, "a"), Interval(2, 3, "b"), Interval(0.5, 2.5, "c")]
+        )
+        assert rel.related("a", "b")
+        assert rel.concurrent("a", "c")
+        assert rel.concurrent("c", "b")
+
+
+class TestTwoPlusTwo:
+    def test_detects_fig3b_pattern(self):
+        rel = Relation(pairs=[(1, 2), (3, 4)])
+        found = find_two_plus_two(rel)
+        assert found is not None
+        a, b, c, d = found
+        assert {a, b, c, d} == {1, 2, 3, 4}
+
+    def test_cross_edge_dissolves_pattern(self):
+        rel = Relation(pairs=[(1, 2), (3, 4), (1, 4), (3, 2)])
+        assert find_two_plus_two(rel) is None
+
+    def test_interval_precedence_is_interval_order(self):
+        # Any set of intervals induces an interval order: no 2+2.
+        rel = interval_precedence(
+            [
+                Interval(0, 1, 1),
+                Interval(2, 3, 2),
+                Interval(0.5, 1.5, 3),
+                Interval(2.5, 4, 4),
+            ]
+        )
+        assert is_interval_order(rel)
+
+    def test_two_chains_not_interval_order(self):
+        assert not is_interval_order(Relation(pairs=[(1, 2), (3, 4)]))
+
+
+class TestPhantomOrdering:
+    def _fig2b_history(self):
+        """Fig. 2(b): serializable as t2 -> t3 -> t1, but timestamps
+        forbid ordering t2 before t1 (t1 ends before t2 begins).
+
+        x is object 0, y is object 1.  t3 starts early and reads the
+        initial y; t1 then overwrites y and commits; t2 writes x and
+        commits; t3 finally reads t2's x and commits.
+        """
+        h = history_from_steps(
+            [
+                ("begin", 3),
+                ("read", 3, 1),           # t3 reads y (initial version)
+                ("begin", 1),
+                ("write", 1, 1),          # t1 overwrites y -> t3 ->rw t1
+                ("commit", 1),
+                ("begin", 2),
+                ("write", 2, 0),          # t2 writes x
+                ("commit", 2),
+                ("read", 3, 0),           # t3 reads t2's x -> t2 ->rw t3
+                ("commit", 3),
+            ]
+        )
+        return h
+
+    def test_fig2b_is_serializable(self):
+        h = self._fig2b_history()
+        rw = h.rw_dependencies()
+        assert rw.is_acyclic()
+        assert rw.related(2, 3)
+        assert rw.related(3, 1)
+
+    def test_fig2b_needs_reordering_against_real_time(self):
+        # t3 must precede t1 (t1 overwrote y that t3 read), yet t1
+        # finished before t3 began: not strict serializable.
+        h = self._fig2b_history()
+        rw = h.rw_dependencies()
+        rt = h.real_time_order()
+        assert serializable_but_not_strictly(rw, rt)
+
+    def test_phantom_orderings_present(self):
+        h = self._fig2b_history()
+        phantoms = phantom_orderings(h.rw_dependencies(), h.real_time_order())
+        assert (1, 3) in phantoms or (1, 2) in phantoms
+
+    def test_no_timestamp_scheme_commits_all_of_fig2b(self):
+        h = self._fig2b_history()
+        intervals = history_real_time_intervals(h)
+        orders = admissible_timestamp_orders(h.rw_dependencies(), intervals)
+        assert orders == []
+
+    def test_strict_serializable_when_compatible(self):
+        h = history_from_steps(
+            [
+                ("begin", 1), ("write", 1, 0), ("commit", 1),
+                ("begin", 2), ("read", 2, 0), ("commit", 2),
+            ]
+        )
+        assert is_strict_serializable(h.rw_dependencies(), h.real_time_order())

@@ -1,0 +1,122 @@
+"""The Fig. 3(a) semantics lattice, as executable implications.
+
+The paper's formalization orders semantics by strength: each arrow in
+the lattice adds axioms, so a stronger semantics implies every weaker
+one.  These tests assert the implications on random histories and
+exhibit the separating examples for each strict inclusion.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semantics import (
+    History,
+    history_from_steps,
+    history_is_serializable,
+    is_linearizable,
+    is_single_object_history,
+    is_strict_serializable,
+    satisfies_snapshot_isolation,
+    si_but_not_serializable,
+    write_skew_example,
+)
+
+# Random single-object operation schedules: (txn, op, obj, explicit)
+single_op_schedules = st.lists(
+    st.tuples(st.sampled_from(["r", "w"]), st.integers(0, 2)),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _single_op_history(schedule, overlap_mask):
+    """Each op is its own transaction; bit i of overlap_mask makes txn
+    i overlap txn i+1 (begin before the predecessor commits)."""
+    history = History()
+    open_txn = None
+    for txn, (kind, obj) in enumerate(schedule):
+        history.begin(txn)
+        if open_txn is not None:
+            history.commit(open_txn)
+            open_txn = None
+        if kind == "r":
+            history.read(txn, obj)
+        else:
+            history.write(txn, obj)
+        if overlap_mask >> txn & 1:
+            open_txn = txn
+        else:
+            history.commit(txn)
+    if open_txn is not None:
+        history.commit(open_txn)
+    return history
+
+
+class TestImplications:
+    @given(single_op_schedules, st.integers(0, 255))
+    @settings(max_examples=80, deadline=None)
+    def test_linearizable_implies_strict_serializable(self, schedule, mask):
+        history = _single_op_history(schedule, mask)
+        assert is_single_object_history(history)
+        if is_linearizable(history):
+            rw = history.rw_dependencies()
+            rt = history.real_time_order()
+            assert is_strict_serializable(rw, rt)
+
+    @given(single_op_schedules, st.integers(0, 255))
+    @settings(max_examples=80, deadline=None)
+    def test_strict_serializable_implies_serializable(self, schedule, mask):
+        history = _single_op_history(schedule, mask)
+        rw = history.rw_dependencies()
+        rt = history.real_time_order()
+        if is_strict_serializable(rw, rt):
+            assert rw.is_acyclic()
+
+
+class TestSeparations:
+    def test_si_does_not_imply_serializability(self):
+        """Fig. 1: the write-skew history separates SI from SER."""
+        assert si_but_not_serializable(write_skew_example())
+
+    def test_serializability_does_not_imply_si(self):
+        """A stale-read history: serializable (the reader serializes
+        before the writer) but not a legal SI snapshot read."""
+        history = history_from_steps(
+            [
+                ("begin", 1), ("write", 1, 0), ("commit", 1),
+                ("begin", 2), ("read", 2, 0, -1), ("commit", 2),
+            ]
+        )
+        assert history_is_serializable(history)
+        assert not satisfies_snapshot_isolation(history)
+
+    def test_serializable_but_not_strict(self):
+        """Fig. 2(b)'s shape: serializable only by ordering against
+        real time — the exact gap ROCoCo exploits over TOCC."""
+        history = history_from_steps(
+            [
+                ("begin", 3), ("read", 3, 1),
+                ("begin", 1), ("write", 1, 1), ("commit", 1),
+                ("begin", 2), ("write", 2, 0), ("commit", 2),
+                ("read", 3, 0), ("commit", 3),
+            ]
+        )
+        rw = history.rw_dependencies()
+        rt = history.real_time_order()
+        assert rw.is_acyclic()
+        assert not is_strict_serializable(rw, rt)
+
+    def test_strict_but_not_linearizable_shape(self):
+        """Linearizability only *speaks* about single-op transactions;
+        a multi-object strict-serializable history sits strictly above
+        it in generality."""
+        history = history_from_steps(
+            [
+                ("begin", 1), ("write", 1, 0), ("write", 1, 1), ("commit", 1),
+                ("begin", 2), ("read", 2, 0), ("read", 2, 1), ("commit", 2),
+            ]
+        )
+        rw = history.rw_dependencies()
+        rt = history.real_time_order()
+        assert is_strict_serializable(rw, rt)
+        assert not is_single_object_history(history)

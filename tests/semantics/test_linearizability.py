@@ -1,0 +1,95 @@
+"""Linearizability as single-object strict serializability (§3.2 fn. 4/5)."""
+
+import pytest
+
+from repro.semantics import (
+    Relation,
+    History,
+    interval_order_implies_acyclic_for_single_objects,
+    is_linearizable,
+    is_single_object_history,
+    linearization_points,
+)
+
+
+def single_op_history(steps):
+    """Steps: (txn, 'r'|'w', obj, begin_order) executed sequentially."""
+    h = History()
+    for txn, kind, obj in steps:
+        h.begin(txn)
+        if kind == "r":
+            h.read(txn, obj)
+        else:
+            h.write(txn, obj)
+        h.commit(txn)
+    return h
+
+
+class TestSingleObjectRestriction:
+    def test_single_op_history_recognized(self):
+        h = single_op_history([(1, "w", 0), (2, "r", 0)])
+        assert is_single_object_history(h)
+
+    def test_multi_object_txn_rejected(self):
+        h = History()
+        h.begin(1)
+        h.read(1, 0)
+        h.write(1, 1)
+        h.commit(1)
+        assert not is_single_object_history(h)
+
+    def test_linearizability_requires_single_ops(self):
+        h = History()
+        h.begin(1)
+        h.read(1, 0)
+        h.write(1, 1)
+        h.commit(1)
+        with pytest.raises(ValueError):
+            is_linearizable(h)
+
+
+class TestLinearizability:
+    def test_sequential_ops_linearizable(self):
+        h = single_op_history([(1, "w", 0), (2, "r", 0), (3, "w", 0)])
+        assert is_linearizable(h)
+        points = linearization_points(h)
+        assert points.index(1) < points.index(2) < points.index(3)
+
+    def test_stale_read_after_write_not_linearizable(self):
+        # Writer finishes entirely before reader begins, yet the reader
+        # observes the initial version: forbidden by real-time order.
+        h = History()
+        h.begin(1)
+        h.write(1, 0)
+        h.commit(1)
+        h.begin(2)
+        h.read(2, 0, version=-1)
+        h.commit(2)
+        assert not is_linearizable(h)
+        assert linearization_points(h) is None
+
+    def test_concurrent_ops_linearize_either_way(self):
+        h = History()
+        h.begin(1)
+        h.begin(2)
+        h.write(1, 0)
+        h.read(2, 0, version=-1)  # overlapped: reading old value is fine
+        h.commit(1)
+        h.commit(2)
+        assert is_linearizable(h)
+
+
+class TestFootnote4:
+    """Irreflexive interval orders over single objects are acyclic."""
+
+    def test_implication_holds_on_interval_order(self):
+        rel = Relation(pairs=[(1, 2), (2, 3), (1, 3)])
+        assert interval_order_implies_acyclic_for_single_objects(rel)
+
+    def test_implication_vacuous_on_2plus2(self):
+        rel = Relation(pairs=[(1, 2), (3, 4)])  # premise fails
+        assert interval_order_implies_acyclic_for_single_objects(rel)
+
+    def test_implication_vacuous_on_broken_chain(self):
+        rel = Relation(pairs=[(1, 2), (2, 3)])  # not transitive: premise fails
+        assert interval_order_implies_acyclic_for_single_objects(rel)

@@ -1,0 +1,132 @@
+"""Property-based tests for the semantics layer (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semantics import (
+    History,
+    Relation,
+    history_is_serializable,
+    is_interval_order,
+    is_serializable,
+    replay_serially,
+    satisfies_snapshot_isolation,
+    serialization_witness,
+)
+
+elements = st.integers(min_value=0, max_value=7)
+pairs = st.tuples(elements, elements).filter(lambda p: p[0] != p[1])
+relations = st.lists(pairs, max_size=16).map(lambda ps: Relation(range(8), ps))
+
+
+class TestRelationLaws:
+    @given(relations)
+    def test_transitive_closure_is_transitive_and_contains(self, rel):
+        closure = rel.transitive_closure()
+        assert closure.is_transitive()
+        assert closure.extends(rel)
+
+    @given(relations)
+    def test_closure_idempotent(self, rel):
+        once = rel.transitive_closure()
+        twice = once.transitive_closure()
+        assert set(once.pairs()) == set(twice.pairs())
+
+    @given(relations)
+    def test_linear_extension_iff_acyclic(self, rel):
+        ext = rel.linear_extension()
+        if rel.is_acyclic():
+            assert ext is not None
+            assert ext.is_strict_total_order()
+            assert ext.extends(rel)
+        else:
+            assert ext is None
+
+    @given(relations)
+    def test_topological_order_respects_all_pairs(self, rel):
+        order = rel.topological_order()
+        if order is not None:
+            position = {e: i for i, e in enumerate(order)}
+            for a, b in rel.pairs():
+                assert position[a] < position[b]
+
+    @given(relations)
+    def test_restriction_preserves_acyclicity(self, rel):
+        if rel.is_acyclic():
+            assert rel.restrict(range(4)).is_acyclic()
+
+    @given(relations)
+    def test_total_orders_are_interval_orders(self, rel):
+        ext = rel.linear_extension()
+        if ext is not None:
+            assert is_interval_order(ext)
+
+
+# ----------------------------------------------------------------------
+# Random histories: serial generation is always serializable; witness
+# orders always replay.
+# ----------------------------------------------------------------------
+
+history_ops = st.lists(
+    st.tuples(
+        st.integers(0, 3),              # txn slot
+        st.sampled_from(["read", "write"]),
+        st.integers(0, 4),              # object
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+def _serial_history(ops):
+    """Execute txns 0..3 serially: txn k's ops happen in block k."""
+    history = History()
+    for txn in range(4):
+        mine = [op for op in ops if op[0] == txn]
+        history.begin(txn)
+        for _, kind, obj in mine:
+            if kind == "read":
+                history.read(txn, obj)
+            else:
+                history.write(txn, obj)
+        history.commit(txn)
+    return history
+
+
+def _interleaved_history(ops):
+    """All txns begin first, then ops interleave in list order."""
+    history = History()
+    for txn in range(4):
+        history.begin(txn)
+    for txn, kind, obj in ops:
+        if kind == "read":
+            history.read(txn, obj)
+        else:
+            history.write(txn, obj)
+    for txn in range(4):
+        history.commit(txn)
+    return history
+
+
+class TestHistoryLaws:
+    @given(history_ops)
+    def test_serial_histories_always_serializable(self, ops):
+        history = _serial_history(ops)
+        assert history_is_serializable(history)
+
+    @given(history_ops)
+    def test_serial_histories_satisfy_si(self, ops):
+        assert satisfies_snapshot_isolation(_serial_history(ops))
+
+    @given(history_ops)
+    def test_witness_always_replays(self, ops):
+        history = _interleaved_history(ops)
+        rw = history.rw_dependencies()
+        order = serialization_witness(rw)
+        if order is not None:
+            assert replay_serially(history, order)
+
+    @given(history_ops)
+    def test_dependencies_irreflexive(self, ops):
+        rw = _interleaved_history(ops).rw_dependencies()
+        assert rw.is_irreflexive()

@@ -1,0 +1,149 @@
+"""Unit tests for finite binary relations and order axioms."""
+
+import pytest
+
+from repro.semantics import Relation
+
+
+def rel(pairs, elements=()):
+    return Relation(elements, pairs)
+
+
+class TestConstruction:
+    def test_empty_relation_has_no_pairs(self):
+        r = Relation()
+        assert len(r) == 0
+        assert list(r.pairs()) == []
+
+    def test_add_relates_and_extends_carrier(self):
+        r = Relation()
+        r.add(1, 2)
+        assert r.related(1, 2)
+        assert not r.related(2, 1)
+        assert r.elements == frozenset({1, 2})
+
+    def test_carrier_may_exceed_pairs(self):
+        r = Relation(elements=[1, 2, 3], pairs=[(1, 2)])
+        assert 3 in r.elements
+        assert r.concurrent(1, 3)
+
+    def test_discard_removes_pair(self):
+        r = rel([(1, 2)])
+        r.discard(1, 2)
+        assert not r.related(1, 2)
+        assert r.elements == frozenset({1, 2})
+
+    def test_copy_is_independent(self):
+        r = rel([(1, 2)])
+        c = r.copy()
+        c.add(2, 3)
+        assert not r.related(2, 3)
+        assert c.related(2, 3)
+
+    def test_contains_and_len(self):
+        r = rel([(1, 2), (2, 3)])
+        assert (1, 2) in r
+        assert (3, 1) not in r
+        assert len(r) == 2
+
+    def test_equality(self):
+        assert rel([(1, 2)]) == rel([(1, 2)])
+        assert rel([(1, 2)]) != rel([(2, 1)])
+        assert rel([(1, 2)]) != rel([(1, 2)], elements=[9])
+
+
+class TestAxioms:
+    def test_irreflexive(self):
+        assert rel([(1, 2)]).is_irreflexive()
+        assert not rel([(1, 1)]).is_irreflexive()
+
+    def test_asymmetric(self):
+        assert rel([(1, 2)]).is_asymmetric()
+        assert not rel([(1, 2), (2, 1)]).is_asymmetric()
+        assert not rel([(1, 1)]).is_asymmetric()
+
+    def test_transitive(self):
+        assert rel([(1, 2), (2, 3), (1, 3)]).is_transitive()
+        assert not rel([(1, 2), (2, 3)]).is_transitive()
+        assert rel([]).is_transitive()
+
+    def test_total(self):
+        assert rel([(1, 2), (2, 3), (1, 3)]).is_total()
+        assert not rel([(1, 2)], elements=[1, 2, 3]).is_total()
+
+    def test_strict_partial_order(self):
+        assert rel([(1, 2), (2, 3), (1, 3)]).is_strict_partial_order()
+        assert not rel([(1, 2), (2, 3)]).is_strict_partial_order()
+
+    def test_strict_total_order(self):
+        chain = Relation.from_order([1, 2, 3])
+        assert chain.is_strict_total_order()
+        assert not rel([(1, 2)], elements=[1, 2, 3]).is_strict_total_order()
+
+    def test_acyclic_simple(self):
+        assert rel([(1, 2), (2, 3)]).is_acyclic()
+        assert not rel([(1, 2), (2, 1)]).is_acyclic()
+        assert not rel([(1, 1)]).is_acyclic()
+
+    def test_acyclic_long_cycle(self):
+        assert not rel([(1, 2), (2, 3), (3, 4), (4, 1)]).is_acyclic()
+
+    def test_acyclic_diamond(self):
+        assert rel([(1, 2), (1, 3), (2, 4), (3, 4)]).is_acyclic()
+
+
+class TestConstructions:
+    def test_transitive_closure(self):
+        closure = rel([(1, 2), (2, 3)]).transitive_closure()
+        assert closure.related(1, 3)
+        assert closure.is_transitive()
+
+    def test_closure_of_cycle_relates_everything(self):
+        closure = rel([(1, 2), (2, 1)]).transitive_closure()
+        assert closure.related(1, 1)
+        assert closure.related(2, 2)
+
+    def test_closure_preserves_carrier(self):
+        r = rel([(1, 2)], elements=[7])
+        assert 7 in r.transitive_closure().elements
+
+    def test_extends(self):
+        weak = rel([(1, 2)])
+        strong = rel([(1, 2), (1, 3)])
+        assert strong.extends(weak)
+        assert not weak.extends(strong)
+
+    def test_topological_order_respects_pairs(self):
+        order = rel([(1, 2), (1, 3), (3, 4)]).topological_order()
+        assert order.index(1) < order.index(2)
+        assert order.index(1) < order.index(3)
+        assert order.index(3) < order.index(4)
+
+    def test_topological_order_of_cycle_is_none(self):
+        assert rel([(1, 2), (2, 1)]).topological_order() is None
+
+    def test_linear_extension_is_total_and_extends(self):
+        r = rel([(1, 2), (3, 4)])
+        ext = r.linear_extension()
+        assert ext.is_strict_total_order()
+        assert ext.extends(r)
+
+    def test_linear_extension_of_cycle_is_none(self):
+        assert rel([(1, 2), (2, 3), (3, 1)]).linear_extension() is None
+
+    def test_restrict(self):
+        r = rel([(1, 2), (2, 3), (1, 3)])
+        sub = r.restrict([1, 3])
+        assert sub.elements == frozenset({1, 3})
+        assert sub.related(1, 3)
+        assert not sub.related(1, 2)
+
+    def test_from_order(self):
+        r = Relation.from_order([3, 1, 2])
+        assert r.related(3, 1) and r.related(3, 2) and r.related(1, 2)
+        assert r.is_strict_total_order()
+
+    def test_concurrent(self):
+        r = rel([(1, 2)], elements=[3])
+        assert r.concurrent(1, 3)
+        assert not r.concurrent(1, 2)

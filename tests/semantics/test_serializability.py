@@ -1,0 +1,109 @@
+"""Serializability: acyclicity iff-condition, witnesses, replay oracle."""
+
+import pytest
+
+from repro.semantics import (
+    Relation,
+    assert_serializable,
+    explain_cycle,
+    history_from_steps,
+    history_is_serializable,
+    is_serializable,
+    replay_serially,
+    serialization_witness,
+)
+
+
+def chain(*pairs):
+    return Relation(pairs=pairs)
+
+
+class TestAcyclicityCondition:
+    def test_acyclic_is_serializable(self):
+        assert is_serializable(chain((1, 2), (2, 3)))
+
+    def test_cyclic_is_not_serializable(self):
+        assert not is_serializable(chain((1, 2), (2, 1)))
+
+    def test_witness_extends_dependencies(self):
+        rw = chain((1, 2), (3, 2), (1, 3))
+        order = serialization_witness(rw)
+        assert order is not None
+        for a, b in rw.pairs():
+            assert order.index(a) < order.index(b)
+
+    def test_witness_none_for_cycle(self):
+        assert serialization_witness(chain((1, 2), (2, 1))) is None
+
+    def test_explain_cycle_returns_closed_walk(self):
+        rw = chain((1, 2), (2, 3), (3, 1))
+        cycle = explain_cycle(rw)
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        for a, b in zip(cycle, cycle[1:]):
+            assert rw.related(a, b)
+
+    def test_explain_cycle_none_when_acyclic(self):
+        assert explain_cycle(chain((1, 2), (2, 3))) is None
+
+
+class TestHistoryOracle:
+    def _serializable_history(self):
+        return history_from_steps(
+            [
+                ("begin", 1), ("write", 1, 0), ("commit", 1),
+                ("begin", 2), ("read", 2, 0), ("write", 2, 1), ("commit", 2),
+            ]
+        )
+
+    def _write_skew_history(self):
+        return history_from_steps(
+            [
+                ("begin", 1), ("begin", 2),
+                ("read", 1, 0), ("read", 1, 1),
+                ("read", 2, 0), ("read", 2, 1),
+                ("write", 1, 0), ("write", 2, 1),
+                ("commit", 1), ("commit", 2),
+            ]
+        )
+
+    def test_history_is_serializable(self):
+        assert history_is_serializable(self._serializable_history())
+
+    def test_write_skew_not_serializable(self):
+        assert not history_is_serializable(self._write_skew_history())
+
+    def test_assert_serializable_returns_replayable_order(self):
+        h = self._serializable_history()
+        order = assert_serializable(h)
+        assert replay_serially(h, order)
+
+    def test_assert_serializable_raises_with_cycle(self):
+        with pytest.raises(AssertionError, match="cycle"):
+            assert_serializable(self._write_skew_history())
+
+    def test_replay_detects_wrong_order(self):
+        h = self._serializable_history()
+        assert replay_serially(h, [1, 2])
+        assert not replay_serially(h, [2, 1])
+
+    def test_subset_serializability(self):
+        # The full set is cyclic, but aborting one leg restores it.
+        h = self._write_skew_history()
+        assert history_is_serializable(h, txns=[1])
+        assert history_is_serializable(h, txns=[2])
+
+    def test_reordering_against_commit_order_is_allowed(self):
+        # Fig. 2(a)-style: t1 reads initial x, t2 writes x and commits
+        # first; serializing t1 before t2 works even though t2
+        # committed first.
+        h = history_from_steps(
+            [
+                ("begin", 1), ("begin", 2),
+                ("read", 1, 0),
+                ("write", 2, 0), ("commit", 2),
+                ("write", 1, 1), ("commit", 1),
+            ]
+        )
+        order = assert_serializable(h)
+        assert order.index(1) < order.index(2)

@@ -1,0 +1,99 @@
+"""Snapshot isolation, write skew (Fig. 1), compositionality (§2.2)."""
+
+from repro.semantics import (
+    find_write_skew,
+    history_from_steps,
+    history_is_serializable,
+    per_object_serializable,
+    satisfies_snapshot_isolation,
+    si_but_not_serializable,
+    write_skew_example,
+)
+
+
+class TestSnapshotIsolation:
+    def test_write_skew_example_satisfies_si(self):
+        assert satisfies_snapshot_isolation(write_skew_example())
+
+    def test_write_skew_example_not_serializable(self):
+        assert not history_is_serializable(write_skew_example())
+
+    def test_fig1_is_the_si_serializability_gap(self):
+        assert si_but_not_serializable(write_skew_example())
+
+    def test_serial_history_satisfies_si(self):
+        h = history_from_steps(
+            [
+                ("begin", 1), ("write", 1, 0), ("commit", 1),
+                ("begin", 2), ("read", 2, 0), ("write", 2, 1), ("commit", 2),
+            ]
+        )
+        assert satisfies_snapshot_isolation(h)
+        assert history_is_serializable(h)
+
+    def test_stale_read_violates_si(self):
+        # Reader begins after writer committed but observes the initial
+        # version: not a snapshot read.
+        h = history_from_steps(
+            [
+                ("begin", 1), ("write", 1, 0), ("commit", 1),
+                ("begin", 2), ("read", 2, 0, -1), ("commit", 2),
+            ]
+        )
+        assert not satisfies_snapshot_isolation(h)
+
+    def test_first_committer_wins_violation(self):
+        # Two overlapping committed writers of the same object.
+        h = history_from_steps(
+            [
+                ("begin", 1), ("begin", 2),
+                ("write", 1, 0), ("write", 2, 0),
+                ("commit", 1), ("commit", 2),
+            ]
+        )
+        assert not satisfies_snapshot_isolation(h)
+
+    def test_disjoint_overlapping_writers_fine(self):
+        h = history_from_steps(
+            [
+                ("begin", 1), ("begin", 2),
+                ("write", 1, 0), ("write", 2, 1),
+                ("commit", 1), ("commit", 2),
+            ]
+        )
+        assert satisfies_snapshot_isolation(h)
+
+
+class TestWriteSkew:
+    def test_detects_fig1(self):
+        pair = find_write_skew(write_skew_example())
+        assert pair == (1, 2)
+
+    def test_no_skew_without_cross_reads(self):
+        h = history_from_steps(
+            [
+                ("begin", 1), ("begin", 2),
+                ("read", 1, 0), ("write", 1, 0),
+                ("read", 2, 1), ("write", 2, 1),
+                ("commit", 1), ("commit", 2),
+            ]
+        )
+        assert find_write_skew(h) is None
+
+    def test_no_skew_when_serial(self):
+        h = history_from_steps(
+            [
+                ("begin", 1), ("read", 1, 1), ("write", 1, 0), ("commit", 1),
+                ("begin", 2), ("read", 2, 0), ("write", 2, 1), ("commit", 2),
+            ]
+        )
+        assert find_write_skew(h) is None
+
+
+class TestCompositionality:
+    def test_serializability_is_not_compositional(self):
+        """Fig. 1 (b): per-object projections are acyclic, the
+        composition is not — serializability does not compose."""
+        h = write_skew_example()
+        assert per_object_serializable(h, objects=[0, 1])
+        assert not history_is_serializable(h)

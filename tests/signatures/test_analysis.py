@@ -1,0 +1,85 @@
+"""The Fig. 7 false-positivity model vs the real implementation."""
+
+import pytest
+
+from repro.signatures import (
+    SignatureConfig,
+    bit_occupancy,
+    figure7_rows,
+    intersection_false_positive,
+    measure_intersection_false_positive,
+    measure_query_false_positive,
+    query_false_positive,
+)
+
+
+class TestClosedForms:
+    def test_occupancy_zero_elements(self):
+        assert bit_occupancy(0, 512, 4) == 0.0
+
+    def test_occupancy_monotone(self):
+        values = [bit_occupancy(n, 512, 4) for n in range(0, 64, 4)]
+        assert values == sorted(values)
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            bit_occupancy(-1, 512, 4)
+
+    def test_query_fp_small_for_rococotm_point(self):
+        """At the chosen m=512 with n=8, queries are almost exact."""
+        assert query_false_positive(8, 512, 4) < 1e-4
+
+    def test_intersection_fp_much_larger_than_query_fp(self):
+        """Fig. 7's headline: false set-overlap dwarfs query FP."""
+        for n in (4, 8, 16):
+            q = query_false_positive(n, 512, 4)
+            i = intersection_false_positive(n, n, 512, 4)
+            assert i > 10 * q
+
+    def test_intersection_fp_acceptable_at_8_elements(self):
+        """The §5.2 design point: intersecting <= 8-element signatures
+        keeps false overlap low; big sets would not."""
+        at_8 = intersection_false_positive(8, 8, 512, 4)
+        at_64 = intersection_false_positive(64, 64, 512, 4)
+        assert at_8 < 0.05
+        assert at_64 > 0.5
+
+    def test_bigger_filter_helps(self):
+        assert intersection_false_positive(8, 8, 1024, 4) < intersection_false_positive(
+            8, 8, 512, 4
+        )
+
+    def test_figure7_rows_structure(self):
+        rows = figure7_rows(max_elements=8)
+        assert {r["n"] for r in rows} == set(range(1, 9))
+        for row in rows:
+            assert 0.0 <= row["query_fp"] <= 1.0
+            assert 0.0 <= row["intersect_fp"] <= 1.0
+
+
+class TestModelMatchesImplementation:
+    """Monte-Carlo rates of the real signatures track the closed forms."""
+
+    def test_query_fp_matches(self):
+        config = SignatureConfig(bits=256, partitions=4, seed=5)
+        n = 24
+        predicted = query_false_positive(n, 256, 4)
+        measured = measure_query_false_positive(n, config, trials=3000, seed=1)
+        assert measured == pytest.approx(predicted, abs=0.02)
+
+    def test_intersection_fp_matches(self):
+        config = SignatureConfig(bits=256, partitions=4, seed=5)
+        predicted = intersection_false_positive(8, 8, 256, 4)
+        measured = measure_intersection_false_positive(8, 8, config, trials=3000, seed=2)
+        assert measured == pytest.approx(predicted, abs=0.05)
+
+    def test_no_false_negative_ever_measured(self):
+        config = SignatureConfig(bits=128, partitions=4, seed=7)
+        import random
+
+        rng = random.Random(3)
+        for _ in range(200):
+            elements = [rng.getrandbits(40) for _ in range(12)]
+            sig = config.of(elements)
+            assert all(sig.query(e) for e in elements)

@@ -1,0 +1,104 @@
+"""Bloom signatures: soundness, bit layout, set algebra."""
+
+import pytest
+
+from repro.signatures import BloomSignature, SignatureConfig
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SignatureConfig(bits=512, partitions=4)
+
+
+class TestConfig:
+    def test_rococotm_default_shape(self, config):
+        assert config.bits == 512
+        assert config.partitions == 4
+        assert config.partition_bits == 128
+
+    def test_uneven_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            SignatureConfig(bits=512, partitions=3)
+
+    def test_non_power_of_two_partition_rejected(self):
+        with pytest.raises(ValueError):
+            SignatureConfig(bits=96, partitions=2)
+
+    def test_bit_positions_one_per_partition(self, config):
+        positions = config.bit_positions(0xDEADBEEF)
+        assert len(positions) == 4
+        for i, pos in enumerate(positions):
+            assert i * 128 <= pos < (i + 1) * 128
+
+    def test_deterministic_across_instances(self):
+        a = SignatureConfig(bits=512, partitions=4, seed=1)
+        b = SignatureConfig(bits=512, partitions=4, seed=1)
+        assert a.bit_positions(12345) == b.bit_positions(12345)
+
+    def test_of_builds_from_iterable(self, config):
+        sig = config.of([1, 2, 3])
+        assert sig.query(1) and sig.query(2) and sig.query(3)
+
+
+class TestSoundness:
+    def test_no_false_negatives(self, config):
+        """The load-bearing guarantee: a member always queries true."""
+        import random
+
+        rng = random.Random(42)
+        elements = [rng.getrandbits(48) for _ in range(64)]
+        sig = config.of(elements)
+        assert all(sig.query(e) for e in elements)
+
+    def test_empty_signature_rejects_everything(self, config):
+        sig = config.new()
+        assert not sig.query(1)
+        assert sig.is_empty()
+
+    def test_disjoint_signature_intersection_sound(self, config):
+        """intersects() == False guarantees set disjointness is
+        *possible*; what must hold is: shared element => intersects."""
+        a = config.of([1, 2, 3])
+        b = config.of([3, 4, 5])
+        assert a.intersects(b)
+
+    def test_clear(self, config):
+        sig = config.of([1])
+        sig.clear()
+        assert sig.is_empty()
+
+
+class TestAlgebra:
+    def test_union_contains_both(self, config):
+        u = config.of([1, 2]).union(config.of([3]))
+        assert u.query(1) and u.query(2) and u.query(3)
+
+    def test_unite_in_place(self, config):
+        sig = config.of([1])
+        sig.unite(config.of([2]))
+        assert sig.query(1) and sig.query(2)
+
+    def test_union_equals_bulk_insert(self, config):
+        assert config.of([1, 2]).union(config.of([3, 4])) == config.of([1, 2, 3, 4])
+
+    def test_intersect_subset_of_operands(self, config):
+        a, b = config.of([1, 2, 5]), config.of([2, 9])
+        inter = a.intersect(b)
+        assert inter.raw & ~a.raw == 0
+        assert inter.raw & ~b.raw == 0
+
+    def test_incompatible_configs_rejected(self):
+        a = SignatureConfig(bits=512, partitions=4)
+        b = SignatureConfig(bits=512, partitions=4)
+        with pytest.raises(ValueError):
+            a.new().union(b.new())
+
+    def test_copy_independent(self, config):
+        a = config.of([1])
+        b = a.copy()
+        b.insert(2)
+        assert not a.query(2)
+
+    def test_popcount_bounded_by_k_times_n(self, config):
+        sig = config.of(range(10))
+        assert 0 < sig.popcount() <= 4 * 10

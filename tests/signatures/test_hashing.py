@@ -1,0 +1,53 @@
+"""Multiply-shift hashing lanes."""
+
+import pytest
+
+from repro.signatures import MultiplyShiftHash, hash_family
+
+
+class TestMultiplyShift:
+    def test_output_range(self):
+        h = MultiplyShiftHash(0x9E3779B97F4A7C15 | 1, out_bits=7)
+        for x in range(0, 10_000, 97):
+            assert 0 <= h(x) < 128
+
+    def test_even_multiplier_rejected(self):
+        with pytest.raises(ValueError):
+            MultiplyShiftHash(2, out_bits=4)
+
+    def test_out_bits_bounds(self):
+        with pytest.raises(ValueError):
+            MultiplyShiftHash(3, out_bits=0)
+        with pytest.raises(ValueError):
+            MultiplyShiftHash(3, out_bits=65)
+
+    def test_deterministic(self):
+        h = MultiplyShiftHash(3, out_bits=8)
+        assert h(12345) == h(12345)
+
+    def test_spreads_sequential_keys(self):
+        """Multiply-shift must not collapse arithmetic sequences (the
+        common address pattern) onto a few buckets."""
+        h = hash_family(1, out_bits=7, seed=3)[0]
+        buckets = {h(8 * i) for i in range(128)}  # cacheline-strided
+        assert len(buckets) > 48
+
+
+class TestFamily:
+    def test_family_size_and_independence(self):
+        fam = hash_family(4, out_bits=7, seed=1)
+        assert len(fam) == 4
+        assert len({h.multiplier for h in fam}) == 4
+
+    def test_family_deterministic_in_seed(self):
+        a = hash_family(4, out_bits=7, seed=9)
+        b = hash_family(4, out_bits=7, seed=9)
+        assert [h.multiplier for h in a] == [h.multiplier for h in b]
+
+    def test_different_seeds_differ(self):
+        a = hash_family(4, out_bits=7, seed=1)
+        b = hash_family(4, out_bits=7, seed=2)
+        assert [h.multiplier for h in a] != [h.multiplier for h in b]
+
+    def test_multipliers_odd(self):
+        assert all(h.multiplier % 2 for h in hash_family(8, 6))

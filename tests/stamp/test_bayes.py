@@ -1,0 +1,40 @@
+"""The bayes port (suite-completing; excluded from Fig. 10)."""
+
+import pytest
+
+from repro.runtime import (
+    CoarseLockBackend,
+    RococoTMBackend,
+    SequentialBackend,
+    TinySTMBackend,
+    TsxBackend,
+)
+from repro.stamp import ALL_WORKLOADS, BayesWorkload, run_stamp
+
+
+class TestBayes:
+    def test_sequential_learns_a_dag(self):
+        stats = run_stamp(BayesWorkload, SequentialBackend(), 1, scale=0.5)
+        assert stats.commits > 0
+
+    @pytest.mark.parametrize(
+        "backend_cls",
+        [CoarseLockBackend, TinySTMBackend, TsxBackend, RococoTMBackend],
+    )
+    def test_concurrent_verifies(self, backend_cls):
+        stats = run_stamp(BayesWorkload, backend_cls(), 4, scale=0.5, seed=2)
+        assert stats.commits > 0
+
+    def test_excluded_from_fig10(self):
+        assert BayesWorkload not in ALL_WORKLOADS
+
+    def test_deterministic(self):
+        a = run_stamp(BayesWorkload, TinySTMBackend(), 4, scale=0.5, seed=3)
+        b = run_stamp(BayesWorkload, TinySTMBackend(), 4, scale=0.5, seed=3)
+        assert a.commits == b.commits
+        assert a.makespan_ns == b.makespan_ns
+
+    def test_read_heavy_profile(self):
+        """Most learning transactions only probe (read) the network."""
+        stats = run_stamp(BayesWorkload, RococoTMBackend(), 4, scale=1.0, seed=4)
+        assert stats.read_only_commits > 0

@@ -1,0 +1,33 @@
+"""STAMP contention variants behave as configured."""
+
+import pytest
+
+from repro.runtime import TinySTMBackend
+from repro.stamp import (
+    KmeansLowWorkload,
+    KmeansWorkload,
+    VacationHighWorkload,
+    VacationWorkload,
+    run_stamp,
+)
+
+
+class TestContentionOrdering:
+    def test_kmeans_low_aborts_less(self):
+        high = run_stamp(KmeansWorkload, TinySTMBackend(), 8, scale=0.5, seed=3)
+        low = run_stamp(KmeansLowWorkload, TinySTMBackend(), 8, scale=0.5, seed=3)
+        assert low.abort_rate < high.abort_rate
+
+    def test_vacation_high_aborts_more(self):
+        base = run_stamp(VacationWorkload, TinySTMBackend(), 8, scale=0.5, seed=3)
+        high = run_stamp(VacationHighWorkload, TinySTMBackend(), 8, scale=0.5, seed=3)
+        assert high.abort_rate > base.abort_rate
+
+    @pytest.mark.parametrize("workload_cls", [KmeansLowWorkload, VacationHighWorkload])
+    def test_variants_verify_on_all_paths(self, workload_cls):
+        stats = run_stamp(workload_cls, TinySTMBackend(), 4, scale=0.25, seed=1)
+        assert stats.commits > 0
+
+    def test_variant_names_distinct(self):
+        assert KmeansLowWorkload.name == "kmeans-low"
+        assert VacationHighWorkload.name == "vacation-high"

@@ -1,0 +1,114 @@
+"""Every STAMP port x every backend: the verify() oracle must hold.
+
+These are the system-level integration tests: a workload's invariants
+(conservation of stock, exact counter totals, connected disjoint
+paths, drained queues) can only survive if the backend provided real
+atomicity and isolation under the simulated interleaving.
+"""
+
+import pytest
+
+from repro.runtime import (
+    CoarseLockBackend,
+    RococoTMBackend,
+    SequentialBackend,
+    TinySTMBackend,
+    TsxBackend,
+)
+from repro.stamp import (
+    ALL_WORKLOADS,
+    GenomeWorkload,
+    IntruderWorkload,
+    KmeansWorkload,
+    LabyrinthWorkload,
+    Ssca2Workload,
+    VacationWorkload,
+    YadaWorkload,
+    run_stamp,
+)
+
+SCALE = 0.25  # small inputs: these are correctness tests, not benches
+BACKENDS = [CoarseLockBackend, TinySTMBackend, TsxBackend, RococoTMBackend]
+
+
+@pytest.mark.parametrize("workload_cls", ALL_WORKLOADS, ids=lambda w: w.name)
+class TestSequentialBaseline:
+    def test_single_thread_verifies(self, workload_cls):
+        stats = run_stamp(workload_cls, SequentialBackend(), 1, scale=SCALE)
+        assert stats.commits > 0
+        assert stats.aborts == 0
+
+
+@pytest.mark.parametrize("backend_cls", BACKENDS, ids=lambda b: b.name)
+@pytest.mark.parametrize("workload_cls", ALL_WORKLOADS, ids=lambda w: w.name)
+class TestConcurrentCorrectness:
+    def test_four_threads_verify(self, workload_cls, backend_cls):
+        stats = run_stamp(workload_cls, backend_cls(), 4, scale=SCALE, seed=1)
+        assert stats.commits > 0
+
+    def test_deterministic(self, workload_cls, backend_cls):
+        a = run_stamp(workload_cls, backend_cls(), 2, scale=SCALE, seed=7)
+        b = run_stamp(workload_cls, backend_cls(), 2, scale=SCALE, seed=7)
+        assert a.makespan_ns == b.makespan_ns
+        assert a.commits == b.commits
+        assert a.aborts == b.aborts
+
+
+class TestWorkloadShapes:
+    """Per-application characteristics the paper's analysis relies on."""
+
+    def test_genome_has_empty_write_commits(self):
+        stats = run_stamp(GenomeWorkload, RococoTMBackend(), 4, scale=0.5)
+        assert stats.read_only_commits > 0.2 * stats.commits
+
+    def test_ssca2_transactions_are_tiny_and_plentiful(self):
+        stats = run_stamp(Ssca2Workload, TinySTMBackend(), 4, scale=0.5)
+        assert stats.commits >= 256  # one per edge
+        assert stats.abort_rate < 0.05
+
+    def test_kmeans_is_contended(self):
+        stats = run_stamp(KmeansWorkload, TinySTMBackend(), 8, scale=0.5, seed=2)
+        assert stats.abort_rate > 0.05
+
+    def test_labyrinth_reads_whole_grid(self):
+        backend = RococoTMBackend()
+        run_stamp(LabyrinthWorkload, backend, 2, scale=0.5)
+        # Each validated route shipped a grid-sized read set.
+        engine = backend.engine
+        assert engine.stats_requests > 0
+        assert engine.mean_round_trip_ns > 600.0
+
+    def test_intruder_drains_exactly_once(self):
+        stats = run_stamp(IntruderWorkload, TsxBackend(), 4, scale=0.5, seed=3)
+        assert stats.commits > 0
+
+    def test_vacation_mostly_reads(self):
+        stats = run_stamp(VacationWorkload, TinySTMBackend(), 4, scale=0.5)
+        assert stats.commits > 0
+
+    def test_yada_generates_work_dynamically(self):
+        stats = run_stamp(YadaWorkload, TinySTMBackend(), 4, scale=0.5, seed=4)
+        assert stats.commits > 0
+
+
+class TestOracleCatchesBrokenTM:
+    """The verify() oracle must actually detect atomicity violations."""
+
+    def test_broken_backend_fails_verification(self):
+        from repro.runtime import Memory, Simulator
+        from repro.runtime.tinystm import TinySTMBackend as Base
+
+        class BrokenSTM(Base):
+            name = "broken"
+
+            def commit(self, tid, now):
+                # Skip read-set validation entirely: lost updates ahead.
+                txn = self._txns[tid]
+                self.global_clock += 1
+                for addr, value in txn.writes.items():
+                    self.memory.store(addr, value)
+                    self._versions[addr] = self.global_clock
+                return now + 10.0
+
+        with pytest.raises(AssertionError):
+            run_stamp(KmeansWorkload, BrokenSTM(), 8, scale=0.5, seed=5)

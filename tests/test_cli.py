@@ -1,0 +1,63 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "kmeans" in out and "ROCoCoTM" in out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "m=512,k=4" in out
+
+    def test_fig9_small(self, capsys):
+        assert main(["fig9", "--threads", "4", "--seeds", "2", "--txns", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "ROCoCo" in out and "collision" in out
+
+    def test_fig10_small(self, capsys):
+        assert (
+            main(
+                [
+                    "fig10",
+                    "--scale", "0.2",
+                    "--threads", "1", "4",
+                    "--workloads", "ssca2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Figure 10 - ssca2" in out
+        assert "Geomean" in out
+
+    def test_fig11_small(self, capsys):
+        assert main(["fig11", "--threads", "4", "--scale", "0.2",
+                     "--workloads", "kmeans"]) == 0
+        out = capsys.readouterr().out
+        assert "validation overhead" in out
+
+    def test_resources(self, capsys):
+        assert main(["resources", "--window", "64", "--bits", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "249442" in out and "200 MHz" in out
+
+    def test_stamp_run(self, capsys):
+        assert main(["stamp", "ssca2", "ROCoCoTM", "--threads", "4",
+                     "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "ssca2/ROCoCoTM@4t" in out
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["stamp", "ssca2", "NotATm"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

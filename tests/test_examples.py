@@ -1,0 +1,53 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are deliverables; a refactor that breaks one should fail CI,
+not a reader.  Each runs in-process at reduced scale where supported.
+"""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "Total balance conserved" in result.stdout
+
+    def test_semantics_tour(self):
+        result = run_example("semantics_tour.py")
+        assert result.returncode == 0, result.stderr
+        assert "write skew" in result.stdout
+        assert "committed=True" in result.stdout  # ROCoCo beats TOCC
+
+    def test_fpga_pipeline(self):
+        result = run_example("fpga_pipeline.py")
+        assert result.returncode == 0, result.stderr
+        assert "200 MHz" in result.stdout
+        assert "amortization" in result.stdout
+
+    def test_si_anomalies(self):
+        result = run_example("si_anomalies.py")
+        assert result.returncode == 0, result.stderr
+        assert "VIOLATED" in result.stdout   # SI admits the skew
+        assert "preserved" in result.stdout  # serializable systems don't
+
+    def test_stamp_comparison_small(self):
+        result = run_example("stamp_comparison.py", "0.15")
+        assert result.returncode == 0, result.stderr
+        assert "geomean" in result.stdout

@@ -1,0 +1,191 @@
+"""Model-based property tests: txlib structures vs Python models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import Memory, SequentialBackend, Simulator, Transaction
+from repro.txlib import THashMap, THeap, TQueue, TSortedList
+
+
+def run_ops(structure_ops):
+    """Run a generator of txlib ops in one sequential transaction."""
+    results = []
+
+    def program(tid):
+        def body():
+            out = yield from structure_ops()
+            return out
+
+        results.append((yield Transaction(body)))
+
+    # memory is captured by the structure at construction time.
+    return results
+
+
+map_commands = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "get", "remove", "put_if_absent"]),
+        st.integers(0, 12),
+        st.integers(0, 99),
+    ),
+    max_size=40,
+)
+
+
+class TestHashMapModel:
+    @given(map_commands)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dict(self, commands):
+        memory = Memory()
+        table = THashMap(memory, n_buckets=4)
+        model = {}
+        observed = []
+        expected = []
+
+        def ops():
+            for cmd, key, value in commands:
+                if cmd == "put":
+                    observed.append((yield from table.put(key, value)))
+                    expected.append(model.get(key))
+                    model[key] = value
+                elif cmd == "get":
+                    observed.append((yield from table.get(key)))
+                    expected.append(model.get(key))
+                elif cmd == "remove":
+                    observed.append((yield from table.remove(key)))
+                    expected.append(model.pop(key, None))
+                else:
+                    inserted = key not in model
+                    observed.append((yield from table.put_if_absent(key, value)))
+                    expected.append(inserted)
+                    if inserted:
+                        model[key] = value
+
+        sim = Simulator(SequentialBackend(), 1, memory=memory)
+
+        def program(tid):
+            yield Transaction(lambda: ops())
+
+        sim.run([program])
+        assert observed == expected
+        assert dict(table.items_direct()) == model
+
+
+queue_commands = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers(0, 99)),
+        st.tuples(st.just("pop"), st.just(0)),
+    ),
+    max_size=40,
+)
+
+
+class TestQueueModel:
+    @given(queue_commands)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_deque(self, commands):
+        from collections import deque
+
+        memory = Memory()
+        queue = TQueue(memory)
+        model = deque()
+        observed, expected = [], []
+
+        def ops():
+            for cmd, value in commands:
+                if cmd == "push":
+                    yield from queue.push(value)
+                    model.append(value)
+                else:
+                    observed.append((yield from queue.pop()))
+                    expected.append(model.popleft() if model else None)
+
+        sim = Simulator(SequentialBackend(), 1, memory=memory)
+
+        def program(tid):
+            yield Transaction(lambda: ops())
+
+        sim.run([program])
+        assert observed == expected
+        assert queue.drain_direct() == list(model)
+
+
+heap_commands = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers(0, 99)),
+        st.tuples(st.just("pop"), st.just(0)),
+    ),
+    max_size=30,
+)
+
+
+class TestHeapModel:
+    @given(heap_commands)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_heapq(self, commands):
+        import heapq
+
+        memory = Memory()
+        heap = THeap(memory, capacity=64)
+        model = []
+        observed, expected = [], []
+
+        def ops():
+            for cmd, value in commands:
+                if cmd == "push":
+                    yield from heap.push(value)
+                    heapq.heappush(model, value)
+                else:
+                    observed.append((yield from heap.pop_min()))
+                    expected.append(heapq.heappop(model) if model else None)
+
+        sim = Simulator(SequentialBackend(), 1, memory=memory)
+
+        def program(tid):
+            yield Transaction(lambda: ops())
+
+        sim.run([program])
+        assert observed == expected
+        assert sorted(heap.snapshot_direct()) == sorted(model)
+
+
+list_commands = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "remove", "find"]),
+        st.integers(0, 15),
+    ),
+    max_size=30,
+)
+
+
+class TestSortedListModel:
+    @given(list_commands)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_sorted_set(self, commands):
+        memory = Memory()
+        lst = TSortedList(memory)
+        model = set()
+        observed, expected = [], []
+
+        def ops():
+            for cmd, key in commands:
+                if cmd == "insert":
+                    observed.append((yield from lst.insert(key, key)))
+                    expected.append(key not in model)
+                    model.add(key)
+                elif cmd == "remove":
+                    observed.append((yield from lst.remove(key)))
+                    expected.append(key in model)
+                    model.discard(key)
+                else:
+                    observed.append((yield from lst.find(key)))
+                    expected.append(key if key in model else None)
+
+        sim = Simulator(SequentialBackend(), 1, memory=memory)
+
+        def program(tid):
+            yield Transaction(lambda: ops())
+
+        sim.run([program])
+        assert observed == expected
+        assert lst.keys_direct() == sorted(model)

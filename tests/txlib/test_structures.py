@@ -1,0 +1,352 @@
+"""Transactional data structures: sequential semantics + concurrent
+linearizability smoke tests."""
+
+import pytest
+
+from repro.runtime import (
+    Memory,
+    SequentialBackend,
+    Simulator,
+    TinySTMBackend,
+    Transaction,
+)
+from repro.txlib import NULL, TArray, THashMap, THashSet, THeap, TQueue, TSortedList, TVar, mix
+
+
+def run_txn(memory, body_factory, backend=None):
+    """Run one transaction on a single thread; returns its result."""
+    results = []
+
+    def program(tid):
+        results.append((yield Transaction(body_factory)))
+
+    sim = Simulator(backend or SequentialBackend(), 1, memory=memory)
+    sim.run([program])
+    return results[0]
+
+
+class TestMix:
+    def test_deterministic(self):
+        assert mix(42) == mix(42)
+        assert mix((1, 2)) == mix((1, 2))
+
+    def test_spreads(self):
+        assert len({mix(i) % 64 for i in range(256)}) > 40
+
+    def test_tuple_order_matters(self):
+        assert mix((1, 2)) != mix((2, 1))
+
+
+class TestTVarAndArray:
+    def test_tvar_roundtrip(self):
+        memory = Memory()
+        var = TVar(memory, initial=5)
+
+        def body():
+            old = yield from var.get()
+            yield from var.set(old + 1)
+            return (yield from var.add(10))
+
+        assert run_txn(memory, body) == 16
+        assert var.peek() == 16
+
+    def test_array_bounds(self):
+        memory = Memory()
+        arr = TArray(memory, 4)
+        with pytest.raises(IndexError):
+            list(arr.get(4))
+        with pytest.raises(ValueError):
+            TArray(memory, 0)
+
+    def test_array_fill_and_snapshot(self):
+        memory = Memory()
+        arr = TArray(memory, 3)
+        arr.fill([7, 8, 9])
+        assert arr.snapshot() == [7, 8, 9]
+
+        def body():
+            yield from arr.add(1, 100)
+
+        run_txn(memory, body)
+        assert arr.snapshot() == [7, 108, 9]
+
+
+class TestHashMap:
+    def test_put_get_update_remove(self):
+        memory = Memory()
+        table = THashMap(memory, n_buckets=8)
+
+        def body():
+            assert (yield from table.get(1)) is None
+            assert (yield from table.put(1, 10)) is None
+            assert (yield from table.put(1, 11)) == 10
+            assert (yield from table.put(9, 90)) is None  # same bucket as 1 maybe
+            assert (yield from table.get(1)) == 11
+            assert (yield from table.remove(1)) == 11
+            assert (yield from table.get(1)) is None
+            return (yield from table.get(9))
+
+        assert run_txn(memory, body) == 90
+
+    def test_collisions_chain(self):
+        memory = Memory()
+        table = THashMap(memory, n_buckets=1)  # everything collides
+
+        def body():
+            for k in range(10):
+                yield from table.put(k, k * k)
+            values = []
+            for k in range(10):
+                values.append((yield from table.get(k)))
+            return values
+
+        assert run_txn(memory, body) == [k * k for k in range(10)]
+
+    def test_put_if_absent(self):
+        memory = Memory()
+        table = THashMap(memory, 8)
+
+        def body():
+            first = yield from table.put_if_absent(5, 1)
+            second = yield from table.put_if_absent(5, 2)
+            return (first, second, (yield from table.get(5)))
+
+        assert run_txn(memory, body) == (True, False, 1)
+
+    def test_size_tracking(self):
+        memory = Memory()
+        table = THashMap(memory, 8, track_size=True)
+
+        def body():
+            yield from table.put(1, 1)
+            yield from table.put(2, 2)
+            yield from table.remove(1)
+            return (yield from table.size())
+
+        assert run_txn(memory, body) == 1
+
+    def test_size_disabled_raises(self):
+        memory = Memory()
+        table = THashMap(memory, 8)
+
+        def body():
+            return (yield from table.size())
+
+        with pytest.raises(RuntimeError):
+            run_txn(memory, body)
+
+    def test_items_direct(self):
+        memory = Memory()
+        table = THashMap(memory, 4)
+
+        def body():
+            yield from table.put(3, 30)
+            yield from table.put((4, 5), 45)
+
+        run_txn(memory, body)
+        assert sorted(table.items_direct(), key=repr) == sorted(
+            [(3, 30), ((4, 5), 45)], key=repr
+        )
+
+    def test_tuple_keys(self):
+        memory = Memory()
+        table = THashMap(memory, 16)
+
+        def body():
+            yield from table.put((1, 2, 3), 99)
+            return (yield from table.get((1, 2, 3)))
+
+        assert run_txn(memory, body) == 99
+
+
+class TestHashSet:
+    def test_add_contains_remove(self):
+        memory = Memory()
+        bag = THashSet(memory, 8)
+
+        def body():
+            added = yield from bag.add(7)
+            again = yield from bag.add(7)
+            has = yield from bag.contains(7)
+            gone = yield from bag.remove(7)
+            missing = yield from bag.contains(7)
+            return (added, again, has, gone, missing)
+
+        assert run_txn(memory, body) == (True, False, True, True, False)
+
+
+class TestQueue:
+    def test_fifo_order(self):
+        memory = Memory()
+        queue = TQueue(memory)
+
+        def body():
+            for v in (1, 2, 3):
+                yield from queue.push(v)
+            out = []
+            for _ in range(4):
+                out.append((yield from queue.pop()))
+            return out
+
+        assert run_txn(memory, body) == [1, 2, 3, None]
+
+    def test_seed_and_drain_direct(self):
+        memory = Memory()
+        queue = TQueue(memory)
+        queue.seed_direct([5, 6])
+        assert queue.drain_direct() == [5, 6]
+
+        def body():
+            first = yield from queue.pop()
+            yield from queue.push(7)
+            return first
+
+        assert run_txn(memory, body) == 5
+        assert queue.drain_direct() == [6, 7]
+
+    def test_empty_check(self):
+        memory = Memory()
+        queue = TQueue(memory)
+
+        def body():
+            before = yield from queue.is_empty()
+            yield from queue.push(1)
+            after = yield from queue.is_empty()
+            return (before, after)
+
+        assert run_txn(memory, body) == (True, False)
+
+
+class TestSortedList:
+    def test_sorted_insert(self):
+        memory = Memory()
+        lst = TSortedList(memory)
+
+        def body():
+            for k in (5, 1, 3, 2, 4):
+                assert (yield from lst.insert(k))
+            return (yield from lst.insert(3))  # duplicate
+
+        assert run_txn(memory, body) is False
+        assert lst.keys_direct() == [1, 2, 3, 4, 5]
+
+    def test_find_and_remove(self):
+        memory = Memory()
+        lst = TSortedList(memory)
+
+        def body():
+            yield from lst.insert(2, "b")
+            yield from lst.insert(1, "a")
+            found = yield from lst.find(2)
+            missing = yield from lst.find(9)
+            removed = yield from lst.remove(1)
+            not_removed = yield from lst.remove(9)
+            return (found, missing, removed, not_removed)
+
+        assert run_txn(memory, body) == ("b", None, True, False)
+        assert lst.keys_direct() == [2]
+
+    def test_minimum(self):
+        memory = Memory()
+        lst = TSortedList(memory)
+
+        def body():
+            empty = yield from lst.minimum()
+            yield from lst.insert(9, "i")
+            yield from lst.insert(4, "d")
+            return (empty, (yield from lst.minimum()))
+
+        assert run_txn(memory, body) == (None, (4, "d"))
+
+
+class TestHeap:
+    def test_heap_order(self):
+        memory = Memory()
+        heap = THeap(memory, capacity=16)
+
+        def body():
+            for v in (5, 1, 4, 1, 3):
+                yield from heap.push(v)
+            out = []
+            while True:
+                v = yield from heap.pop_min()
+                if v is None:
+                    break
+                out.append(v)
+            return out
+
+        assert run_txn(memory, body) == [1, 1, 3, 4, 5]
+
+    def test_overflow(self):
+        memory = Memory()
+        heap = THeap(memory, capacity=1)
+
+        def body():
+            yield from heap.push(1)
+            yield from heap.push(2)
+
+        with pytest.raises(OverflowError):
+            run_txn(memory, body)
+
+    def test_seed_direct(self):
+        memory = Memory()
+        heap = THeap(memory, capacity=8)
+        heap.seed_direct([9, 2, 7])
+
+        def body():
+            return (yield from heap.pop_min())
+
+        assert run_txn(memory, body) == 2
+        assert sorted(heap.snapshot_direct()) == [7, 9]
+
+    def test_tuple_elements(self):
+        memory = Memory()
+        heap = THeap(memory, capacity=8)
+
+        def body():
+            yield from heap.push((2, 10))
+            yield from heap.push((1, 99))
+            return (yield from heap.pop_min())
+
+        assert run_txn(memory, body) == (1, 99)
+
+
+class TestConcurrentUse:
+    def test_hashmap_under_contention(self):
+        """8 threads inserting disjoint keys: all must land."""
+        memory = Memory()
+        table = THashMap(memory, n_buckets=4)
+
+        def make_body(key):
+            def body():
+                yield from table.put(key, key)
+
+            return body
+
+        def program(tid):
+            for i in range(10):
+                yield Transaction(make_body(tid * 100 + i))
+
+        sim = Simulator(TinySTMBackend(), 8, memory=memory)
+        stats = sim.run([program] * 8)
+        assert stats.commits == 80
+        assert len(table.items_direct()) == 80
+
+    def test_queue_producer_consumer(self):
+        memory = Memory()
+        queue = TQueue(memory)
+        queue.seed_direct(range(40))
+        popped = []
+
+        def body():
+            return (yield from queue.pop())
+
+        def program(tid):
+            for _ in range(10):
+                value = yield Transaction(body)
+                popped.append(value)
+
+        sim = Simulator(TinySTMBackend(), 4, memory=memory)
+        sim.run([program] * 4)
+        real = [p for p in popped if p is not None]
+        assert sorted(real) == list(range(40))  # each popped exactly once
