@@ -7,7 +7,6 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from ..runtime import (
     RococoTMBackend,
-    RunStats,
     SequentialBackend,
     TinySTMBackend,
     TsxBackend,

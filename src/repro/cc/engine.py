@@ -18,10 +18,10 @@ the abort *rate* over the fixed population, not throughput.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from .trace import Op, OpKind, Trace, TxnTrace
+from .trace import OpKind, Trace, TxnTrace
 
 #: Writer id for a location's initial version.
 INITIAL = -1
@@ -162,7 +162,11 @@ class TraceCC:
         return False
 
     # -- driver ---------------------------------------------------------
-    def run(self, trace: Trace) -> TraceResult:
+    def run(self, trace: Trace, observer: Optional[Callable[[TxnView, bool], None]] = None) -> TraceResult:
+        """Replay *trace*; ``observer(view, committed)`` — if given —
+        sees every materialized transaction and its fate, which is how
+        the sanitizer (:mod:`repro.sanitizer.tracecheck`) rebuilds the
+        multi-version history an algorithm actually committed."""
         store = VersionStore()
         committed: List[CommittedTxn] = []
         decisions: List[bool] = []
@@ -175,6 +179,8 @@ class TraceCC:
                     store.install(write.addr, view.commit_time, view.txn)
                 committed.append(CommittedTxn(view, len(committed)))
                 self.on_commit(view)
+            if observer is not None:
+                observer(view, ok)
         return TraceResult(self.name, self.concurrency, decisions)
 
     def _materialize(self, txn_trace: TxnTrace, store: VersionStore) -> TxnView:

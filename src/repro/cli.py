@@ -33,6 +33,7 @@ from .runtime import (
     SequentialBackend,
     SnapshotIsolationBackend,
     TinySTMBackend,
+    TinySTMEtlBackend,
     TsxBackend,
 )
 from .stamp import ALL_WORKLOADS, CONTENTION_VARIANTS, EXTRA_WORKLOADS, run_stamp
@@ -41,6 +42,7 @@ BACKENDS = {
     "sequential": SequentialBackend,
     "global-lock": CoarseLockBackend,
     "TinySTM": TinySTMBackend,
+    "TinySTM-ETL": TinySTMEtlBackend,
     "TSX": TsxBackend,
     "ROCoCoTM": RococoTMBackend,
     "SI-MVCC": SnapshotIsolationBackend,
@@ -60,6 +62,7 @@ def _cmd_list(_args) -> int:
             ["sequential", "uninstrumented single-thread baseline"],
             ["global-lock", "one mutex around every atomic block"],
             ["TinySTM", "LSA STM, commit-time locking, write-back"],
+            ["TinySTM-ETL", "LSA STM, encounter-time locking variant"],
             ["TSX", "best-effort HTM, requester-wins + lock fallback"],
             ["ROCoCoTM", "the paper's hybrid CPU+FPGA system"],
             ["SI-MVCC", "multi-version snapshot isolation (anomalies!)"],
@@ -194,6 +197,61 @@ def _cmd_stamp(args) -> int:
     return 0
 
 
+def _cmd_sanitize(args) -> int:
+    from .sanitizer import diff_backends
+    from .sanitizer.dynamic import run_sanitized
+
+    if args.self_check:
+        from .sanitizer.selfcheck import run_self_check
+
+        return 0 if run_self_check() else 1
+
+    if not args.workload or not args.backend:
+        print("sanitize: workload and backend are required (or --self-check)", file=sys.stderr)
+        return 2
+
+    workload_cls = WORKLOADS[args.workload]
+    n_threads = 1 if args.backend == "sequential" else args.threads
+    if args.diff:
+        report = diff_backends(
+            workload_cls,
+            BACKENDS[args.backend](),
+            BACKENDS[args.diff](),
+            n_threads,
+            scale=args.scale,
+            seed=args.seed,
+            strict=args.strict_diff,
+        )
+    else:
+        report, sanitized, _ = run_sanitized(
+            workload_cls,
+            BACKENDS[args.backend](),
+            n_threads,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        if args.dump_log:
+            with open(args.dump_log, "w") as sink:
+                sink.write(sanitized.log.dump_jsonl() + "\n")
+            print(f"event log ({len(sanitized.log)} events) -> {args.dump_log}")
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_lint(args) -> int:
+    from .sanitizer import lint_paths
+
+    try:
+        errors = lint_paths(args.paths)
+    except FileNotFoundError as missing:
+        print(missing, file=sys.stderr)
+        return 2
+    for error in errors:
+        print(error)
+    print(f"{len(errors)} lint error(s) in {', '.join(args.paths)}")
+    return 1 if errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ROCoCoTM reproduction harness"
@@ -240,6 +298,42 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--scale", type=float, default=0.5)
     ps.add_argument("--seed", type=int, default=1)
     ps.set_defaults(func=_cmd_stamp)
+
+    pz = sub.add_parser(
+        "sanitize",
+        help="run a workload under the TM sanitizer (exit 1 on violations)",
+    )
+    pz.add_argument("workload", nargs="?", choices=sorted(WORKLOADS))
+    pz.add_argument("backend", nargs="?", choices=sorted(BACKENDS))
+    pz.add_argument("--threads", type=int, default=4)
+    pz.add_argument("--scale", type=float, default=0.25)
+    pz.add_argument("--seed", type=int, default=1)
+    pz.add_argument(
+        "--diff",
+        metavar="BACKEND2",
+        choices=sorted(BACKENDS),
+        help="differential mode: same workload+seed under a second backend",
+    )
+    pz.add_argument(
+        "--strict-diff",
+        action="store_true",
+        help="treat committed-state divergence in --diff as a violation",
+    )
+    pz.add_argument(
+        "--self-check",
+        action="store_true",
+        help="run the sanitizer's known-bad fixtures instead of a workload",
+    )
+    pz.add_argument(
+        "--dump-log", metavar="PATH", help="write the event log as JSONL"
+    )
+    pz.set_defaults(func=_cmd_sanitize)
+
+    pl = sub.add_parser(
+        "lint", help="repo-specific AST lint (TM001-TM004; exit 1 on errors)"
+    )
+    pl.add_argument("paths", nargs="*", default=["src"])
+    pl.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -26,7 +26,7 @@ the peers.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from .rococo import Footprint, RococoValidator
 

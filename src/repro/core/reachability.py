@@ -31,7 +31,7 @@ the W-slot sliding window of the FPGA implementation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Set
 
 
 @dataclass(frozen=True)

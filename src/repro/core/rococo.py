@@ -26,10 +26,10 @@ validation — the CPU-side fast path of section 5.3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
-from .reachability import ReachabilityClosure, ValidationResult
+from .reachability import ReachabilityClosure
 
 Address = Hashable
 

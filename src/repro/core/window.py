@@ -34,7 +34,7 @@ extraction on the same matrix instead.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Hashable, List, Optional, Tuple
+from typing import FrozenSet, Hashable, List, Tuple
 
 from .rococo import Address, Decision, Footprint
 

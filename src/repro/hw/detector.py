@@ -22,11 +22,11 @@ signatures — the same dataflow as the RTL, at array granularity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Hashable, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
-from ..signatures import BloomSignature, SignatureConfig
+from ..signatures import SignatureConfig
 
 _WORD = 64
 

@@ -12,8 +12,8 @@ Fig. 5 does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
 
 from ..core.window import WindowMatrix
 from ..signatures import SignatureConfig

@@ -10,8 +10,7 @@ consumer only after the link latency has elapsed.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Generic, List, Optional, Tuple, TypeVar
+from typing import Generic, List, Optional, Tuple, TypeVar
 
 T = TypeVar("T")
 

@@ -32,7 +32,7 @@ Composition uses ``yield from``: the data structures in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
 Address = int

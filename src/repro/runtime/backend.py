@@ -18,7 +18,7 @@ to the logic they price.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
 from .api import TransactionAborted

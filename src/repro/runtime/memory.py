@@ -24,6 +24,12 @@ class Memory:
     def __init__(self) -> None:
         self._cells: Dict[int, Any] = {}
         self._brk = 0
+        #: store observers: ``fn(addr, value)`` after every store.
+        #: Backends with value caches (SI-MVCC's version chains) and
+        #: the sanitizer subscribe to see *direct* stores — workload
+        #: phase code writing under a barrier — which would otherwise
+        #: silently invalidate their bookkeeping.
+        self._observers: List = []
 
     def alloc(self, cells: int, align_line: bool = False) -> int:
         """Reserve *cells* consecutive addresses; returns the base.
@@ -45,9 +51,16 @@ class Memory:
         self._check(addr)
         return self._cells.get(addr, 0)
 
+    def subscribe(self, observer) -> None:
+        """Register ``observer(addr, value)`` to run after each store."""
+        if observer not in self._observers:
+            self._observers.append(observer)
+
     def store(self, addr: int, value: Any) -> None:
         self._check(addr)
         self._cells[addr] = value
+        for observer in self._observers:
+            observer(addr, value)
 
     def store_many(self, base: int, values: Iterable[Any]) -> None:
         for offset, value in enumerate(values):

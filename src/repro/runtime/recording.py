@@ -36,6 +36,17 @@ class RecordingBackend(TMBackend):
     real bug.
     """
 
+    #: recorder bookkeeping mutated on the read/write path by design:
+    #: the simulator is single-threaded discrete-event, so recording at
+    #: the operation's instant is race-free by construction (TM003).
+    _sanitizer_locked = (
+        "_writes",
+        "_written_values",
+        "_current",
+        "aborted_attempts",
+        "history",
+    )
+
     def __init__(self, inner: TMBackend):
         super().__init__()
         self.inner = inner

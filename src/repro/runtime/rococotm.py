@@ -78,6 +78,11 @@ class RococoTMBackend(TMBackend):
     #: compact global metadata (signatures only) — the smallest
     #: footprint of the contenders (§6.3's 28-thread argument).
     metadata_footprint = 0.55
+    #: ``_updates`` is the UpdateSet (§5.3): entries are appended only
+    #: inside the commit protocol; the read path merely prunes entries
+    #: whose write-back interval has elapsed, which is idempotent and
+    #: happens at a single simulated instant (TM003).
+    _sanitizer_locked = ("_updates",)
 
     def __init__(
         self,

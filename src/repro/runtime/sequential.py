@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import Any, Tuple
 
-from .api import TransactionAborted
 from .backend import TMBackend
 
 LOAD_NS = 1.5

@@ -51,6 +51,8 @@ class SnapshotIsolationBackend(TMBackend):
 
     name = "SI-MVCC"
     metadata_footprint = 1.0  # version chains are real memory traffic
+    #: ``_txns[tid]`` is a per-thread slot (see TM003 in the sanitizer).
+    _sanitizer_locked = ("_txns",)
 
     def __init__(self) -> None:
         super().__init__()
@@ -58,6 +60,26 @@ class SnapshotIsolationBackend(TMBackend):
         #: addr -> ([stamps ascending], [values]); base memory is stamp 0.
         self._versions: Dict[int, Tuple[List[int], List[Any]]] = {}
         self._txns: Dict[int, _TxnState] = {}
+        #: True while commit() installs its own stores (observer guard).
+        self._installing = False
+
+    def attach(self, simulator) -> None:
+        super().attach(simulator)
+        self.memory.subscribe(self._on_external_store)
+
+    def _on_external_store(self, addr: int, value: Any) -> None:
+        """Drop a version chain its cell was rewritten underneath.
+
+        sanitizer: found by the write-back-race oracle.  Workload phase
+        code stores directly under a barrier (e.g. kmeans' accumulator
+        reset); the cached chain would keep serving the *pre-reset*
+        value to every later snapshot.  Direct stores only happen while
+        no transaction is live, so falling back to raw memory for the
+        next readers is exact.
+        """
+        if self._installing:
+            return
+        self._versions.pop(addr, None)
 
     # ------------------------------------------------------------------
     def begin(self, tid: int, now: float) -> float:
@@ -101,16 +123,20 @@ class SnapshotIsolationBackend(TMBackend):
         self.stats.validations += 1
         self.sequence += 1
         stamp = self.sequence
-        for addr, value in txn.writes.items():
-            chain = self._versions.get(addr)
-            if chain is None:
-                # Retain the pre-history value as version 0 so older
-                # snapshots can still read it.
-                chain = self._versions[addr] = ([0], [self.memory.load(addr)])
-            stamps, values = chain
-            stamps.append(stamp)
-            values.append(value)
-            self.memory.store(addr, value)  # newest version = raw memory
+        self._installing = True
+        try:
+            for addr, value in txn.writes.items():
+                chain = self._versions.get(addr)
+                if chain is None:
+                    # Retain the pre-history value as version 0 so older
+                    # snapshots can still read it.
+                    chain = self._versions[addr] = ([0], [self.memory.load(addr)])
+                stamps, values = chain
+                stamps.append(stamp)
+                values.append(value)
+                self.memory.store(addr, value)  # newest version = raw memory
+        finally:
+            self._installing = False
         cost += INSTALL_PER_WRITE_NS * len(txn.writes)
         return now + self.scaled(cost)
 

@@ -21,19 +21,7 @@ from __future__ import annotations
 from typing import Any, Dict, Set, Tuple
 
 from .api import TransactionAborted
-from .backend import TMBackend
-from .tinystm import (
-    BEGIN_NS,
-    COMMIT_BASE_NS,
-    OREC_COHERENCE_NS_PER_THREAD,
-    READ_NS,
-    ROLLBACK_NS,
-    VALIDATE_PER_READ_NS,
-    WRITEBACK_PER_WORD_NS,
-    WRITE_NS,
-    TinySTMBackend,
-    _TxnState,
-)
+from .tinystm import TinySTMBackend
 
 LOCK_ACQUIRE_NS = 6.0  # the extra CAS an eager write pays
 
@@ -42,6 +30,11 @@ class TinySTMEtlBackend(TinySTMBackend):
     """LSA with encounter-time locking and write-back."""
 
     name = "TinySTM-ETL"
+    #: the ownership table *is* the lock under encounter-time locking:
+    #: ``_owners[addr]`` is only written after the foreign-owner check,
+    #: i.e. while holding (acquiring) that address's lock; ``_held`` is
+    #: the per-thread set of locks owned by ``tid`` (TM003).
+    _sanitizer_locked = ("_txns", "_owners", "_held")
 
     def __init__(self) -> None:
         super().__init__()

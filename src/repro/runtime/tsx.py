@@ -26,10 +26,10 @@ mechanisms §6.2-6.3 blames for its behaviour:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, Optional, Set, Tuple
 
 from .api import TransactionAborted
-from .backend import ParkThread, TMBackend
+from .backend import TMBackend
 from .coarse_lock import GlobalLock
 from .memory import Memory
 
@@ -72,6 +72,10 @@ class TsxBackend(TMBackend):
     name = "TSX"
     metadata_footprint = 0.35  # tracking lives in caches, not memory
     backoff_scale = 0.1        # constant retry policy (§6.2)
+    #: ``_spurious_state`` is the deterministic LCG behind capacity/
+    #: interrupt aborts — global by design, advanced atomically at one
+    #: simulated instant per operation (TM003).
+    _sanitizer_locked = ("_spurious_state",)
 
     def __init__(self, hardware_attempts: int = HARDWARE_ATTEMPTS) -> None:
         super().__init__()

@@ -1,0 +1,437 @@
+"""The dynamic TM sanitizer: instrument, record, replay, judge.
+
+:class:`SanitizerBackend` wraps any runtime backend (rococotm,
+tinystm, tinystm_etl, tsx, si_mvcc, coarse_lock, ...), recording a
+timed per-access event log alongside the multi-version
+:class:`repro.semantics.History` the recording layer already builds.
+After the run, :meth:`SanitizerBackend.report` replays the history
+through the semantics oracles:
+
+1. **serializability** of the committed set — acyclic ``->_rw`` plus a
+   serial-replay-verified witness (:func:`assert_serializable`);
+2. **opacity** — every aborted attempt grafts into the committed
+   history as a read-only observer without creating a cycle;
+3. **doomed reads** — for each opacity violation, the minimal read
+   prefix that already cycles names the first "zombie" read;
+4. **lost updates** — a committed read-modify-write must have observed
+   the version immediately preceding its own in version order;
+5. **write-back races** — final memory must hold exactly the last
+   committed writer's value for every transactionally-written cell.
+
+The differential mode (:func:`diff_backends`) runs one STAMP workload
+under two backends with identical seeds and diffs final committed
+memory; divergence is reported as a note (racy-but-serializable
+programs may diverge benignly) unless ``strict`` is set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..runtime import Memory, Simulator, TMBackend
+from ..runtime.recording import RecordingBackend
+from ..semantics.serializability import explain_cycle, replay_serially, serialization_witness
+from .events import EventLog, TxEvent
+from .report import SanitizeReport, Violation
+
+
+class SanitizerBackend(RecordingBackend):
+    """Any backend, instrumented: event log + post-run oracle replay."""
+
+    #: the event log is recorder bookkeeping, appended at the single
+    #: simulated instant each operation executes (TM003; see
+    #: RecordingBackend._sanitizer_locked for the argument).
+    _sanitizer_locked = (
+        "_writes",
+        "_written_values",
+        "_current",
+        "aborted_attempts",
+        "history",
+        "log",
+        "_in_backend",
+        "_nt_pending",
+        "nt_attempts",
+    )
+
+    def __init__(self, inner: TMBackend):
+        super().__init__(inner)
+        self.name = f"sanitized({inner.name})"
+        self.log = EventLog()
+        self._tid_of: Dict[int, int] = {}
+        self._memory_mismatches = []
+        #: True while a backend hook runs: stores observed then are the
+        #: backend's own write-backs, not workload phase code.
+        self._in_backend = False
+        #: pending direct (non-transactional) stores, addr -> value.
+        self._nt_pending: Dict[int, object] = {}
+        #: pseudo-attempt ids minted for direct-store batches.
+        self.nt_attempts = []
+
+    def attach(self, simulator) -> None:
+        super().attach(simulator)
+        self.memory.subscribe(self._on_direct_store)
+
+    # ------------------------------------------------------------------
+    # Non-transactional stores (workload phase code under a barrier).
+    #
+    # STAMP ports legally mutate memory directly between barriers —
+    # e.g. kmeans' thread-0 reduce resets the accumulators.  Left
+    # unmodeled, later transactional reads of the stored cells would be
+    # attributed to stale versions and every oracle would report
+    # phantom cycles (a false positive on even the global-lock
+    # backend).  Each batch of consecutive direct stores is recorded as
+    # one committed pseudo-transaction: the writes install new versions
+    # at a single serial point, which is exactly the semantics of a
+    # quiesced phase boundary.
+    # ------------------------------------------------------------------
+    def _on_direct_store(self, addr: int, value) -> None:
+        if not self._in_backend:
+            self._nt_pending[addr] = value
+
+    def _flush_direct_stores(self, now: float = 0.0) -> None:
+        if not self._nt_pending:
+            return
+        batch, self._nt_pending = self._nt_pending, {}
+        self._attempt_id += 1
+        attempt = self._attempt_id
+        self.nt_attempts.append(attempt)
+        self.history.begin(attempt)
+        self.log.append(TxEvent("begin", attempt, -1, now))
+        for addr, value in sorted(batch.items()):
+            self.history.write(attempt, addr)
+            self._written_values.setdefault(addr, {})[attempt] = value
+            self.log.append(TxEvent("write", attempt, -1, now, addr=addr, value=value))
+        self.history.commit(attempt)
+        self.log.append(TxEvent("commit", attempt, -1, now))
+        self._committed_set.add(attempt)
+        for addr in batch:
+            self._last_writer[addr] = attempt
+
+    # ------------------------------------------------------------------
+    # Instrumented hooks: delegate via RecordingBackend, log the event.
+    # ------------------------------------------------------------------
+    def begin(self, tid: int, now: float) -> float:
+        self._flush_direct_stores(now)
+        self._in_backend = True
+        try:
+            at = super().begin(tid, now)
+        finally:
+            self._in_backend = False
+        attempt = self._current[tid]
+        self._tid_of[attempt] = tid
+        self.log.append(TxEvent("begin", attempt, tid, at))
+        return at
+
+    def read(self, tid: int, addr: int, now: float):
+        self._flush_direct_stores(now)
+        attempt = self._current[tid]
+        mark = len(self.history.events)
+        self._in_backend = True
+        try:
+            value, at = super().read(tid, addr, now)
+        except Exception:
+            self._log_unwound(attempt, tid, now)
+            raise
+        finally:
+            self._in_backend = False
+        if len(self.history.events) > mark:
+            version = self.history.events[-1].version
+        else:
+            # Read-own-write: served from the attempt's write buffer.
+            version = attempt
+        self.log.append(TxEvent("read", attempt, tid, at, addr=addr, value=value, version=version))
+        return value, at
+
+    def write(self, tid: int, addr: int, value, now: float) -> float:
+        self._flush_direct_stores(now)
+        attempt = self._current[tid]
+        self._in_backend = True
+        try:
+            at = super().write(tid, addr, value, now)
+        except Exception:
+            self._log_unwound(attempt, tid, now)
+            raise
+        finally:
+            self._in_backend = False
+        self.log.append(TxEvent("write", attempt, tid, at, addr=addr, value=value))
+        return at
+
+    def commit(self, tid: int, now: float) -> float:
+        self._flush_direct_stores(now)
+        attempt = self._current[tid]
+        self._in_backend = True
+        try:
+            at = super().commit(tid, now)
+        except Exception:
+            self._log_unwound(attempt, tid, now)
+            raise
+        finally:
+            self._in_backend = False
+        self.log.append(TxEvent("commit", attempt, tid, at))
+        return at
+
+    def rollback(self, tid: int, now: float, cause: str) -> float:
+        self._in_backend = True
+        try:
+            return super().rollback(tid, now, cause)
+        finally:
+            self._in_backend = False
+
+    def _log_unwound(self, attempt: int, tid: int, now: float) -> None:
+        """Record the abort if the recording layer just closed the attempt."""
+        if attempt not in self._current.values() and self.history.record(attempt).committed is False:
+            self.log.append(TxEvent("abort", attempt, tid, now, cause="unwound"))
+
+    def run_finished(self) -> None:
+        self._in_backend = True
+        try:
+            super().run_finished()
+        finally:
+            self._in_backend = False
+        self._flush_direct_stores()
+        self._check_final_memory()
+
+    # ------------------------------------------------------------------
+    # Post-run analysis
+    # ------------------------------------------------------------------
+    def _check_final_memory(self) -> None:
+        """Write-back race check: every transactionally written cell
+        must hold the last committed writer's value."""
+        memory = self.memory
+        if memory is None:
+            return
+        for addr, writer in sorted(self._last_writer.items()):
+            expected = self._written_values[addr][writer]
+            actual = memory.load(addr)
+            if actual != expected:
+                self._memory_mismatches.append((addr, writer, expected, actual))
+
+    def report(self, workload: str = "") -> SanitizeReport:
+        """Replay the recorded history through every oracle."""
+        self._finish_stragglers()
+        history = self.history
+        rep = SanitizeReport(
+            backend=self.name,
+            workload=workload,
+            attempts=len(self.committed_attempts) + len(self.aborted_attempts),
+            committed=len(self.committed_attempts),
+            aborted=len(self.aborted_attempts),
+        )
+
+        # 1. serializability of the committed set, witness replayed.
+        rw = history.rw_dependencies()
+        cycle = explain_cycle(rw)
+        if cycle is not None:
+            rep.add(
+                Violation(
+                    "serializability",
+                    f"committed set has dependency cycle {cycle}",
+                    attempts=tuple(cycle),
+                )
+            )
+        else:
+            witness = serialization_witness(rw)
+            if witness is not None and not replay_serially(history, witness):
+                rep.add(
+                    Violation(
+                        "serializability",
+                        "topological witness failed serial replay "
+                        "(dependency extraction inconsistent)",
+                    )
+                )
+
+        # 2+3. opacity of aborted attempts, localized to the doomed read.
+        committed = set(history.committed)
+        for attempt in self.aborted_attempts:
+            if not history.record(attempt).reads:
+                continue
+            bad = explain_cycle(history.rw_dependencies(committed | {attempt}))
+            if bad and attempt in bad:
+                rep.add(
+                    Violation(
+                        "opacity",
+                        f"aborted attempt {attempt} observed an inconsistent "
+                        f"snapshot (cycle {bad})",
+                        attempts=(attempt,),
+                    )
+                )
+                doomed = self._first_doomed_read(attempt, committed)
+                if doomed is not None:
+                    obj, version = doomed
+                    rep.add(
+                        Violation(
+                            "doomed-read",
+                            f"attempt {attempt} was doomed by reading "
+                            f"version {version} of object {obj} "
+                            f"(zombie continued past an invalid snapshot)",
+                            attempts=(attempt,),
+                            addr=obj,
+                        )
+                    )
+
+        # 4. lost updates among committed read-modify-writes.
+        for txn in history.committed:
+            rec = history.record(txn)
+            for obj in sorted(rec.writes & rec.read_set):
+                order = history.version_order(obj)
+                observed = rec.reads[obj]
+                if observed not in order:
+                    continue  # observed an uncommitted value; see 5.
+                mine = order.index(txn)
+                if order.index(observed) < mine - 1:
+                    lost = order[mine - 1]
+                    rep.add(
+                        Violation(
+                            "lost-update",
+                            f"txn {txn} overwrote object {obj} having read "
+                            f"version {observed}, silently discarding "
+                            f"committed version {lost}",
+                            attempts=(txn, lost),
+                            addr=obj,
+                        )
+                    )
+
+        # 5. write-back races against final memory.
+        for addr, writer, expected, actual in self._memory_mismatches:
+            rep.add(
+                Violation(
+                    "writeback-race",
+                    f"final memory[{addr}] = {actual!r} but last committed "
+                    f"writer {writer} stored {expected!r}",
+                    attempts=(writer,),
+                    addr=addr,
+                )
+            )
+        return rep
+
+    def _first_doomed_read(self, attempt: int, committed: set):
+        """The earliest read whose addition makes the graft cyclic."""
+        rec = self.history.record(attempt)
+        full = dict(rec.reads)
+        items = list(full.items())
+        try:
+            for k in range(1, len(items) + 1):
+                rec.reads = dict(items[:k])
+                cycle = explain_cycle(
+                    self.history.rw_dependencies(committed | {attempt})
+                )
+                if cycle and attempt in cycle:
+                    return items[k - 1]
+        finally:
+            rec.reads = full
+        return None
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+def run_sanitized(
+    workload_cls,
+    backend: TMBackend,
+    n_threads: int,
+    scale: float = 1.0,
+    seed: int = 0,
+    verify: bool = True,
+):
+    """Run one STAMP workload instrumented; returns
+    ``(report, sanitized_backend, memory)`` for callers that also want
+    the event log or the final heap (the CLI's ``--dump-log``,
+    :func:`diff_backends`)."""
+    memory = Memory()
+    workload = workload_cls(memory, n_threads, scale=scale, seed=seed)
+    sanitized = SanitizerBackend(backend)
+    simulator = Simulator(
+        sanitized,
+        n_threads,
+        memory=memory,
+        seed=seed,
+        workload_name=workload.name,
+    )
+    simulator.run([workload.program] * n_threads)
+    report = sanitized.report(workload=workload.name)
+    if verify:
+        try:
+            workload.verify()
+        except AssertionError as failure:
+            report.add(
+                Violation("verify-failed", f"workload invariant violated: {failure}")
+            )
+    report.notes.append(f"makespan {simulator.stats.makespan_ns:.0f} ns")
+    return report, sanitized, memory
+
+
+def sanitize_stamp(
+    workload_cls,
+    backend: TMBackend,
+    n_threads: int,
+    scale: float = 1.0,
+    seed: int = 0,
+    verify: bool = True,
+) -> SanitizeReport:
+    """Run one STAMP workload under a sanitized backend; full report."""
+    report, _, _ = run_sanitized(
+        workload_cls, backend, n_threads, scale=scale, seed=seed, verify=verify
+    )
+    return report
+
+
+def diff_backends(
+    workload_cls,
+    backend_a: TMBackend,
+    backend_b: TMBackend,
+    n_threads: int,
+    scale: float = 1.0,
+    seed: int = 0,
+    strict: bool = False,
+) -> SanitizeReport:
+    """Differential mode: same workload + seed under two backends.
+
+    Each side runs fully sanitized; the combined report carries both
+    sides' violations plus the committed-state diff.  Divergent cells
+    are notes by default — thread interleavings legally differ across
+    backends, so racy-but-serializable programs may produce different
+    (individually correct) final states — and ``state-divergence``
+    violations under ``strict``.
+    """
+
+    report_a, _, memory_a = run_sanitized(
+        workload_cls, backend_a, n_threads, scale=scale, seed=seed
+    )
+    report_b, _, memory_b = run_sanitized(
+        workload_cls, backend_b, n_threads, scale=scale, seed=seed
+    )
+
+    combined = SanitizeReport(
+        backend=f"{backend_a.name} vs {backend_b.name}",
+        workload=report_a.workload,
+        attempts=report_a.attempts + report_b.attempts,
+        committed=report_a.committed + report_b.committed,
+        aborted=report_a.aborted + report_b.aborted,
+    )
+    for side in (report_a, report_b):
+        combined.violations.extend(side.violations)
+
+    span = max(memory_a.allocated, memory_b.allocated)
+    diverged = [
+        addr
+        for addr in range(span)
+        if (memory_a.load(addr) if addr < memory_a.allocated else None)
+        != (memory_b.load(addr) if addr < memory_b.allocated else None)
+    ]
+    if diverged:
+        detail = (
+            f"{len(diverged)} of {span} cells differ "
+            f"(first few: {diverged[:8]})"
+        )
+        if strict:
+            combined.add(
+                Violation("state-divergence", detail, addr=diverged[0])
+            )
+        else:
+            combined.notes.append(
+                f"committed state diverged: {detail} — both sides verified, "
+                "so the divergence is schedule-dependent, not a violation"
+            )
+    else:
+        combined.notes.append(f"committed state identical across {span} cells")
+    return combined

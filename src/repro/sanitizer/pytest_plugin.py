@@ -1,0 +1,61 @@
+"""The ``tm_sanitizer`` pytest fixture.
+
+Registered from ``tests/conftest.py``::
+
+    from repro.sanitizer.pytest_plugin import tm_sanitizer  # noqa: F401
+
+A test wraps whichever backend it drives and runs as usual::
+
+    def test_my_workload(tm_sanitizer):
+        backend = tm_sanitizer.wrap(TinySTMBackend())
+        Simulator(backend, 4, memory=memory, seed=0).run(programs)
+
+At teardown the fixture replays every wrapped backend's recorded
+execution through the full oracle battery (serializability, opacity,
+doomed reads, lost updates, write-back races) and fails the test on
+any violation — so an existing behavioural test also becomes a
+correctness audit of the backend it happened to exercise.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from ..runtime import TMBackend
+from .dynamic import SanitizerBackend
+from .report import SanitizeReport
+
+
+class SanitizerHarness:
+    """Collects wrapped backends; checked at fixture teardown."""
+
+    def __init__(self) -> None:
+        self.backends: List[SanitizerBackend] = []
+        self.reports: List[SanitizeReport] = []
+
+    def wrap(self, inner: TMBackend) -> SanitizerBackend:
+        """Wrap *inner* for instrumentation; remember it for teardown."""
+        backend = SanitizerBackend(inner)
+        self.backends.append(backend)
+        return backend
+
+    def check(self) -> List[SanitizeReport]:
+        """Replay the oracles now; raises on any violation."""
+        self.reports = [b.report() for b in self.backends]
+        failing = [r for r in self.reports if not r.ok]
+        if failing:
+            raise AssertionError(
+                "TM sanitizer violations:\n"
+                + "\n".join(r.summary() for r in failing)
+            )
+        return self.reports
+
+
+@pytest.fixture
+def tm_sanitizer():
+    """Yields a :class:`SanitizerHarness`; verifies at teardown."""
+    harness = SanitizerHarness()
+    yield harness
+    harness.check()

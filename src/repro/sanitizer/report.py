@@ -1,0 +1,90 @@
+"""Violations and the sanitize report.
+
+Every dynamic check yields :class:`Violation` records.  ``kind`` is a
+closed vocabulary so drivers (CLI, CI, pytest fixture) can filter and
+count without parsing messages:
+
+* ``serializability`` — the committed set's ``->_rw`` has a cycle
+  (the §3.2 iff-condition fails).
+* ``opacity``         — an aborted attempt observed an inconsistent
+  snapshot (zombie execution, §5.3 footnote 7).
+* ``doomed-read``     — localization of an opacity violation: the
+  first read after which the attempt's snapshot could no longer be
+  grafted into the committed history.
+* ``lost-update``     — a committed read-modify-write observed a
+  version older than its immediate predecessor in version order.
+* ``writeback-race``  — final memory disagrees with the last
+  committed writer's value (torn or leaked write-back).
+* ``state-divergence`` — differential mode only: the two backends
+  disagree on final committed state (informational unless the diff
+  run is strict; racy-but-serializable programs may diverge benignly).
+* ``verify-failed``   — the workload's own invariant oracle raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+VIOLATION_KINDS = (
+    "serializability",
+    "opacity",
+    "doomed-read",
+    "lost-update",
+    "writeback-race",
+    "state-divergence",
+    "verify-failed",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    kind: str
+    message: str
+    #: transaction attempt ids implicated (empty when not applicable).
+    attempts: Tuple[int, ...] = ()
+    addr: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in VIOLATION_KINDS:
+            raise ValueError(f"unknown violation kind {self.kind!r}")
+
+    def __str__(self) -> str:
+        where = f" @addr={self.addr}" if self.addr is not None else ""
+        who = f" [attempts {', '.join(map(str, self.attempts))}]" if self.attempts else ""
+        return f"{self.kind}{where}{who}: {self.message}"
+
+
+@dataclass
+class SanitizeReport:
+    """Outcome of one sanitized run (or one differential comparison)."""
+
+    backend: str
+    workload: str = ""
+    violations: List[Violation] = field(default_factory=list)
+    #: non-fatal observations (e.g. benign state divergence in diff mode).
+    notes: List[str] = field(default_factory=list)
+    attempts: int = 0
+    committed: int = 0
+    aborted: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, violation: Violation) -> None:
+        self.violations.append(violation)
+
+    def by_kind(self, kind: str) -> List[Violation]:
+        return [v for v in self.violations if v.kind == kind]
+
+    def summary(self) -> str:
+        head = (
+            f"sanitize {self.workload or '<run>'} under {self.backend}: "
+            f"{self.attempts} attempts ({self.committed} committed, "
+            f"{self.aborted} aborted), {len(self.violations)} violation(s)"
+        )
+        lines = [head]
+        lines.extend(f"  VIOLATION {v}" for v in self.violations)
+        lines.extend(f"  note: {n}" for n in self.notes)
+        return "\n".join(lines)

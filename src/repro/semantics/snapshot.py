@@ -14,7 +14,7 @@ that SI composes per-object while serializability does not
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Iterable, Optional, Tuple
 
 from .history import INITIAL_VERSION, History, TxnId
 from .relations import Relation

@@ -14,9 +14,9 @@ signature ships to the FPGA in a single CCI transfer, and
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List
 
-from .hashing import MultiplyShiftHash, hash_family
+from .hashing import hash_family
 
 DEFAULT_BITS = 512
 DEFAULT_PARTITIONS = 4

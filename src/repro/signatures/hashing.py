@@ -16,7 +16,7 @@ multiply on the CPU.
 from __future__ import annotations
 
 import random
-from typing import List, Sequence
+from typing import List
 
 WORD_BITS = 64
 _WORD_MASK = (1 << WORD_BITS) - 1

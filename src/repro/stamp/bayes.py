@@ -20,7 +20,7 @@ install-enqueue transaction structure and the acyclicity constraint.
 
 from __future__ import annotations
 
-from typing import Generator, List, Tuple
+from typing import Generator
 
 from ..runtime import Transaction, Work
 from ..txlib import THashMap, TQueue, TVar, mix

@@ -17,7 +17,7 @@ analysis of Fig. 10 relies on.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Generator, List, Optional, Type
+from typing import Generator, List, Optional, Type
 
 from ..runtime import CostModel, Memory, RunStats, Simulator, TMBackend
 

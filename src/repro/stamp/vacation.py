@@ -14,7 +14,7 @@ are reads.
 
 from __future__ import annotations
 
-from typing import Generator, List
+from typing import Generator
 
 from ..runtime import Transaction, Work
 from ..txlib import THashMap

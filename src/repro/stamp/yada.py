@@ -20,10 +20,10 @@ conflicts, which is what the evaluation exercises.
 
 from __future__ import annotations
 
-from typing import Generator, List
+from typing import Generator
 
 from ..runtime import Transaction, Work
-from ..txlib import NULL, THashMap, THeap, TVar
+from ..txlib import THashMap, THeap, TVar
 from .common import StampWorkload, drive_direct
 
 ELEMENTS = 128

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable
 
 from ..runtime.api import Read, Write
 from ..runtime.memory import Memory

@@ -8,7 +8,7 @@ Elements are ints or int tuples compared lexicographically.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from ..runtime.api import Read, Write
 from ..runtime.memory import Memory

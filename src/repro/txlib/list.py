@@ -8,7 +8,7 @@ calls "transaction-friendly".
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from ..runtime.api import Alloc, Read, Write
 from ..runtime.memory import Memory

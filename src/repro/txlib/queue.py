@@ -8,7 +8,7 @@ STAMP's queue.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable
 
 from ..runtime.api import Alloc, Read, Write
 from ..runtime.memory import Memory

@@ -1,0 +1,3 @@
+"""Shared fixtures: re-export the TM sanitizer's pytest plugin."""
+
+from repro.sanitizer.pytest_plugin import tm_sanitizer  # noqa: F401

@@ -1,0 +1,12 @@
+"""Negative fixture: ambient entropy inside a cc/ module (TM001)."""
+
+import random
+import time
+
+
+def draw():
+    return random.random()
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,13 @@
+"""Negative fixture: unfrozen record dataclass in cc/ (TM004)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class LeakyView:
+    txn: int
+
+
+@dataclass(frozen=False)
+class MutableTrace:
+    ops: tuple

@@ -1,0 +1,11 @@
+"""Negative fixture: mutable default argument (TM002, any directory)."""
+
+
+def enqueue(item, queue=[]):
+    queue.append(item)
+    return queue
+
+
+def tally(key, counts=dict()):
+    counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,18 @@
+"""Negative fixture: undeclared hot-path mutation in a backend (TM003)."""
+
+
+class RacyBackend:
+    def __init__(self):
+        self.global_clock = 0
+        self.readers = []
+
+    def read(self, tid, addr, now):
+        self.global_clock += 1
+        self._note(tid)
+        return 0, now
+
+    def write(self, tid, addr, value, now):
+        return now
+
+    def _note(self, tid):
+        self.readers.append(tid)

@@ -1,0 +1,174 @@
+"""The dynamic sanitizer: clean backends pass, broken ones are caught."""
+
+import pytest
+
+from repro.runtime import (
+    CoarseLockBackend,
+    Memory,
+    Read,
+    RococoTMBackend,
+    Simulator,
+    SnapshotIsolationBackend,
+    TinySTMBackend,
+    TinySTMEtlBackend,
+    Transaction,
+    TsxBackend,
+    Work,
+    Write,
+)
+from repro.sanitizer import SanitizerBackend
+from repro.sanitizer.pytest_plugin import SanitizerHarness
+from repro.sanitizer.selfcheck import _NoValidationSTM, _TornWritebackSTM
+
+from ..runtime.conftest import make_transfer_program
+
+SERIALIZABLE = [
+    CoarseLockBackend,
+    TinySTMBackend,
+    TinySTMEtlBackend,
+    TsxBackend,
+    RococoTMBackend,
+]
+
+
+def run_sanitized_transfers(inner, n_threads=6, seed=0, transfers=15, n_accounts=8):
+    memory = Memory()
+    base = memory.alloc(n_accounts)
+    for i in range(n_accounts):
+        memory.store(base + i, 100)
+    backend = SanitizerBackend(inner)
+    sim = Simulator(backend, n_threads, memory=memory, seed=seed)
+    sim.run([make_transfer_program(base, n_accounts, transfers)] * n_threads)
+    return backend
+
+
+class TestCleanBackends:
+    @pytest.mark.parametrize("inner_cls", SERIALIZABLE, ids=lambda c: c.name)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_no_violations(self, inner_cls, seed):
+        backend = run_sanitized_transfers(inner_cls(), seed=seed)
+        report = backend.report(workload="bank")
+        assert report.ok, report.summary()
+        assert report.committed == 6 * 15
+
+    def test_event_log_shape(self):
+        backend = run_sanitized_transfers(TinySTMBackend(), n_threads=2, transfers=5)
+        committed = set(backend.committed_attempts)
+        for attempt in committed:
+            kinds = [e.kind for e in backend.log.of_attempt(attempt)]
+            assert kinds[0] == "begin" and kinds[-1] == "commit"
+        # Every read names a version: a committed attempt, a direct-store
+        # pseudo-attempt, itself (read-own-write), or -1 (initial).
+        valid = committed | set(backend.nt_attempts) | {-1}
+        for event in backend.log:
+            if event.kind == "read":
+                assert event.version in valid or event.version == event.attempt
+
+
+class TestCatchesBrokenBackends:
+    def test_si_write_skew_flagged(self):
+        memory = Memory()
+        base = memory.alloc(2)
+        memory.store(base, 1)
+        memory.store(base + 1, 1)
+
+        def make_program(offset):
+            def body():
+                x = yield Read(base)
+                y = yield Read(base + 1)
+                yield Work(800)
+                if x + y >= 2:
+                    yield Write(base + offset, 0)
+
+            def program(tid):
+                yield Transaction(body)
+
+            return program
+
+        backend = SanitizerBackend(SnapshotIsolationBackend())
+        Simulator(backend, 2, memory=memory, seed=0).run(
+            [make_program(0), make_program(1)]
+        )
+        report = backend.report(workload="write-skew")
+        assert not report.ok
+        assert report.by_kind("serializability")
+
+    def test_lost_updates_flagged(self):
+        backend = run_sanitized_transfers(
+            _NoValidationSTM(), n_threads=8, transfers=20, n_accounts=4
+        )
+        report = backend.report(workload="bank")
+        assert report.by_kind("serializability") or report.by_kind("lost-update")
+
+    def test_torn_writeback_flagged(self):
+        backend = run_sanitized_transfers(
+            _TornWritebackSTM(), n_threads=2, transfers=5, n_accounts=4
+        )
+        report = backend.report(workload="bank")
+        assert report.by_kind("writeback-race")
+
+
+class TestDirectStores:
+    def test_phase_stores_become_pseudo_txns(self):
+        """Non-transactional stores (workload phase code) must fold into
+        the history as committed pseudo-transactions, not false races."""
+        memory = Memory()
+        counter = memory.alloc(1)
+        memory.store(counter, 0)
+
+        def body():
+            value = yield Read(counter)
+            yield Write(counter, value + 1)
+
+        def program(tid):
+            yield Transaction(body)
+            memory.store(counter, 100)  # direct reset between transactions
+            yield Transaction(body)
+
+        backend = SanitizerBackend(TinySTMBackend())
+        Simulator(backend, 1, memory=memory, seed=0).run([program])
+        report = backend.report(workload="direct-store")
+        assert report.ok, report.summary()
+        assert len(backend.nt_attempts) == 1
+        assert memory.load(counter) == 101
+
+
+class TestHarness:
+    def test_clean_backend_passes(self):
+        harness = SanitizerHarness()
+        inner = TinySTMBackend()
+        memory = Memory()
+        base = memory.alloc(4)
+        for i in range(4):
+            memory.store(base + i, 100)
+        backend = harness.wrap(inner)
+        Simulator(backend, 4, memory=memory, seed=0).run(
+            [make_transfer_program(base, 4, 10)] * 4
+        )
+        reports = harness.check()
+        assert len(reports) == 1 and reports[0].ok
+
+    def test_broken_backend_fails_check(self):
+        harness = SanitizerHarness()
+        memory = Memory()
+        base = memory.alloc(4)
+        for i in range(4):
+            memory.store(base + i, 100)
+        backend = harness.wrap(_NoValidationSTM())
+        Simulator(backend, 8, memory=memory, seed=5).run(
+            [make_transfer_program(base, 4, 20)] * 8
+        )
+        with pytest.raises(AssertionError, match="TM sanitizer violations"):
+            harness.check()
+
+    def test_fixture_integration(self, tm_sanitizer):
+        inner = RococoTMBackend()
+        memory = Memory()
+        base = memory.alloc(8)
+        for i in range(8):
+            memory.store(base + i, 100)
+        backend = tm_sanitizer.wrap(inner)
+        Simulator(backend, 4, memory=memory, seed=2).run(
+            [make_transfer_program(base, 8, 10)] * 4
+        )
+        # teardown runs the oracles

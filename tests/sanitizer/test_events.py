@@ -1,0 +1,48 @@
+"""The event-log format: construction, queries, JSONL round-trip."""
+
+import pytest
+
+from repro.sanitizer import EventLog, TxEvent
+
+
+class TestTxEvent:
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            TxEvent("jump", 1, 0, 0.0)
+
+    def test_frozen(self):
+        event = TxEvent("read", 1, 0, 3.0, addr=7, value=42, version=-1)
+        with pytest.raises(Exception):
+            event.addr = 8
+
+    def test_to_dict_drops_unused_fields(self):
+        event = TxEvent("commit", 3, 1, 9.0)
+        data = event.to_dict()
+        assert "addr" not in data and "version" not in data
+        assert data["kind"] == "commit" and data["attempt"] == 3
+
+
+class TestEventLog:
+    def _log(self):
+        log = EventLog()
+        log.append(TxEvent("begin", 1, 0, 0.0))
+        log.append(TxEvent("read", 1, 0, 1.0, addr=5, value=0, version=-1))
+        log.append(TxEvent("write", 1, 0, 2.0, addr=5, value=1))
+        log.append(TxEvent("commit", 1, 0, 3.0))
+        log.append(TxEvent("begin", 2, 1, 0.5))
+        log.append(TxEvent("abort", 2, 1, 1.5, cause="cpu-validation"))
+        return log
+
+    def test_queries(self):
+        log = self._log()
+        assert len(log) == 6
+        assert [e.kind for e in log.of_attempt(1)] == ["begin", "read", "write", "commit"]
+        reads = log.reads_of(1)
+        assert len(reads) == 1 and reads[0].version == -1
+        assert log.of_attempt(2)[-1].cause == "cpu-validation"
+
+    def test_jsonl_round_trip(self):
+        log = self._log()
+        text = log.dump_jsonl()
+        back = EventLog.load_jsonl(text)
+        assert list(back) == list(log)

@@ -1,0 +1,22 @@
+"""The self-check fixtures: every oracle catches its known-bad input."""
+
+from repro.sanitizer.selfcheck import CHECKS, run_self_check
+
+
+def test_all_fixtures_detected():
+    lines = []
+    assert run_self_check(emit=lines.append)
+    assert len(lines) == len(CHECKS)
+    assert all(line.startswith("ok") for line in lines)
+
+
+def test_check_names_cover_the_oracles():
+    names = {name for name, _ in CHECKS}
+    assert {
+        "write-skew",
+        "lost-update",
+        "writeback-race",
+        "opacity",
+        "lint-rules",
+        "clean-run",
+    } <= names

@@ -1,0 +1,36 @@
+"""Sanitizer smoke: real STAMP workloads under ROCoCoTM, zero violations."""
+
+import pytest
+
+from repro.runtime import RococoTMBackend
+from repro.sanitizer import diff_backends, sanitize_stamp
+from repro.stamp import KmeansWorkload, VacationWorkload
+
+
+@pytest.mark.parametrize(
+    "workload_cls,scale",
+    [(KmeansWorkload, 0.25), (VacationWorkload, 0.2)],
+    ids=["kmeans", "vacation"],
+)
+def test_stamp_under_rococotm_is_clean(workload_cls, scale):
+    report = sanitize_stamp(
+        workload_cls, RococoTMBackend(), n_threads=4, scale=scale, seed=1
+    )
+    assert report.ok, report.summary()
+    assert report.committed > 0
+
+
+def test_differential_mode_runs_both_sides():
+    from repro.runtime import CoarseLockBackend
+
+    report = diff_backends(
+        KmeansWorkload,
+        RococoTMBackend(),
+        CoarseLockBackend(),
+        n_threads=4,
+        scale=0.2,
+        seed=1,
+    )
+    assert report.ok, report.summary()
+    assert "vs" in report.backend
+    assert any("committed state" in note for note in report.notes)

@@ -1,0 +1,47 @@
+"""Oracle replay for the trace-level CC engines."""
+
+from repro.cc import ALL_ALGORITHMS
+from repro.cc.engine import TraceCC
+from repro.cc.trace import generate_trace
+from repro.sanitizer import check_trace_algorithm, record_trace_history
+
+
+class _CommitEverything(TraceCC):
+    """Broken validator: accepts every transaction unconditionally."""
+
+    name = "commit-everything"
+
+    def validate(self, view, committed):
+        return True
+
+
+class TestRecordTraceHistory:
+    def test_history_matches_decisions(self):
+        trace = generate_trace(n_txns=60, ops_per_txn=8, locations=64, seed=7)
+        algo = ALL_ALGORITHMS[0](concurrency=8)
+        result, history = record_trace_history(algo, trace)
+        assert len(result.decisions) == 60
+        assert len(history.committed) == result.commits
+
+    def test_reads_carry_observed_versions(self):
+        trace = generate_trace(n_txns=40, ops_per_txn=6, locations=32, seed=3)
+        algo = ALL_ALGORITHMS[0](concurrency=4)
+        _, history = record_trace_history(algo, trace)
+        committed = set(history.committed)
+        for txn in committed:
+            for version in history.record(txn).reads.values():
+                assert version == -1 or version in committed
+
+
+class TestCheckTraceAlgorithm:
+    def test_real_algorithms_pass(self):
+        trace = generate_trace(n_txns=80, ops_per_txn=8, locations=64, seed=11)
+        for algo_cls in ALL_ALGORITHMS:
+            report = check_trace_algorithm(algo_cls(concurrency=12), trace)
+            assert report.ok, report.summary()
+
+    def test_commit_everything_flagged(self):
+        trace = generate_trace(n_txns=80, ops_per_txn=8, locations=32, seed=11)
+        report = check_trace_algorithm(_CommitEverything(concurrency=12), trace)
+        assert not report.ok
+        assert report.by_kind("serializability")

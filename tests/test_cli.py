@@ -61,3 +61,55 @@ class TestCli:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSanitizeCli:
+    def test_clean_workload_exits_zero(self, capsys):
+        assert main(["sanitize", "ssca2", "ROCoCoTM", "--threads", "4",
+                     "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+
+    def test_requires_workload_and_backend(self, capsys):
+        assert main(["sanitize"]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_self_check(self, capsys):
+        assert main(["sanitize", "--self-check"]) == 0
+        out = capsys.readouterr().out
+        assert "write-skew" in out and "FAIL" not in out
+
+    def test_dump_log(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        assert main(["sanitize", "ssca2", "ROCoCoTM", "--threads", "2",
+                     "--scale", "0.2", "--dump-log", str(log)]) == 0
+        from repro.sanitizer import EventLog
+
+        events = EventLog.load_jsonl(log.read_text())
+        assert len(events) > 0
+
+    def test_diff_mode(self, capsys):
+        assert main(["sanitize", "ssca2", "ROCoCoTM", "--diff", "global-lock",
+                     "--threads", "4", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "vs" in out
+
+
+class TestLintCli:
+    def test_src_is_clean(self, capsys):
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parents[1] / "src"
+        assert main(["lint", str(src)]) == 0
+        assert "0 lint error(s)" in capsys.readouterr().out
+
+    def test_bad_file_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "cc" / "entropy.py"
+        bad.parent.mkdir()
+        bad.write_text("import time\nNOW = time.time()\n")
+        assert main(["lint", str(bad)]) == 1
+        assert "TM001" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+        assert "no such file" in capsys.readouterr().err
