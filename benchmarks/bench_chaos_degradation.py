@@ -1,0 +1,109 @@
+"""Chaos matrix — fault injection and the validation degradation ladder.
+
+No figure in the paper covers hardware failure: §5/§6 assume a healthy
+CCI link and a live engine.  This benchmark quantifies what the
+robustness layer (docs/FAULTS.md) costs when the "hardware" misbehaves:
+every built-in fault schedule runs the same workload with the same
+seeds, and the table reports throughput, injected-fault counts and the
+ladder's activity (retries, timeouts, resubmissions, failover /
+fail-back, software-validation share).
+
+Assertions pin the contract rather than exact numbers:
+
+* fault-free and null-plan runs are *bit-identical* (makespan and
+  abort profile);
+* every schedule completes the full workload — same commit count —
+  no matter what is injected (progress + safety);
+* the sustained-stall schedule demonstrably fails over to the software
+  validator and fails back after the window ends;
+* with failover disabled, a sustained stall instead drives
+  transactions onto the irrevocable global-lock rung.
+"""
+
+import pytest
+
+from repro.bench import DEGRADATION_HEADERS, degradation_row, print_table
+from repro.faults import (
+    BUILTIN_SCHEDULES,
+    ChaosValidationEngine,
+    DegradationPolicy,
+    FaultPlan,
+    build_chaos_backend,
+)
+from repro.hw import FpgaValidationEngine
+from repro.runtime import RococoTMBackend
+from repro.stamp import KmeansWorkload, run_stamp
+
+THREADS = 4
+SCALE = 0.25
+SEED = 1
+
+
+def _run(backend):
+    return run_stamp(KmeansWorkload, backend, THREADS, scale=SCALE, seed=SEED)
+
+
+def _sweep():
+    rows = []
+    baseline = _run(RococoTMBackend())
+    rows.append(["none"] + degradation_row(baseline))
+    null_plan = _run(
+        RococoTMBackend(
+            engine=ChaosValidationEngine(FpgaValidationEngine(), FaultPlan())
+        )
+    )
+    rows.append(["null-plan"] + degradation_row(null_plan))
+    runs = {"none": (baseline, None), "null-plan": (null_plan, None)}
+    for schedule in BUILTIN_SCHEDULES:
+        backend = build_chaos_backend(schedule, fault_seed=0)
+        stats = _run(backend)
+        rows.append([schedule] + degradation_row(stats))
+        runs[schedule] = (stats, backend)
+    # Last rung: same sustained stall, software failover disabled.
+    backend = build_chaos_backend(
+        "stall",
+        fault_seed=0,
+        policy=DegradationPolicy(software_failover=False),
+        irrevocable_after=6,
+    )
+    stats = _run(backend)
+    rows.append(["stall/no-sw"] + degradation_row(stats))
+    runs["stall/no-sw"] = (stats, backend)
+    return rows, runs
+
+
+def test_chaos_degradation(benchmark):
+    rows, runs = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print_table(
+        ["schedule"] + DEGRADATION_HEADERS,
+        rows,
+        title="Chaos matrix: kmeans under every fault schedule",
+    )
+
+    baseline, _ = runs["none"]
+    null_plan, _ = runs["null-plan"]
+    # Null plan => bit-identical timings and outcomes (the wrapper
+    # must cost nothing when injecting nothing).
+    assert null_plan.makespan_ns == baseline.makespan_ns
+    assert null_plan.commits == baseline.commits
+    assert dict(null_plan.aborts_by_cause) == dict(baseline.aborts_by_cause)
+
+    # Progress under every schedule: the full workload commits.
+    for schedule in BUILTIN_SCHEDULES:
+        stats, _ = runs[schedule]
+        assert stats.commits == baseline.commits, schedule
+
+    # The sustained stall crosses the whole ladder and comes back.
+    stall, stall_backend = runs["stall"]
+    assert stall.failovers >= 1 and stall.failbacks >= 1
+    assert stall.software_validations > 0
+    ladder = stall_backend.degradation
+    window_end = stall_backend.engine.plan.stall_windows[0][1]
+    assert ladder.failback_at[0] > window_end
+    assert ladder.mode == "fpga"  # recovered by the end of the run
+
+    # Without the software rung the same stall forces irrevocable mode.
+    no_sw, _ = runs["stall/no-sw"]
+    assert no_sw.irrevocable_fallbacks >= 1
+    assert no_sw.aborts_by_cause.get("fpga-unavailable", 0) >= 1
+    assert no_sw.commits == baseline.commits

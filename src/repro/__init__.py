@@ -16,6 +16,10 @@ Subpackages, bottom-up:
   false-positivity model (§5.2, Fig. 7).
 * :mod:`repro.hw` — the FPGA offload engine, functionally simulated:
   detector, manager, pipeline timing, CCI link, resources (§4.2, §6.5).
+* :mod:`repro.faults` — deterministic fault injection (link drops /
+  spikes / CRC corruption, engine stalls / resets) and the validation
+  degradation ladder (timeout -> resubmit -> software failover ->
+  irrevocable); see docs/FAULTS.md.
 * :mod:`repro.runtime` — discrete-event multicore simulator and the
   TM systems: ROCoCoTM (§5), TinySTM/LSA, TSX-style HTM, global lock,
   sequential.
@@ -34,13 +38,14 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import bench, cc, core, hw, runtime, semantics, signatures, stamp, txlib
+from . import bench, cc, core, faults, hw, runtime, semantics, signatures, stamp, txlib
 
 __all__ = [
     "__version__",
     "bench",
     "cc",
     "core",
+    "faults",
     "hw",
     "runtime",
     "semantics",

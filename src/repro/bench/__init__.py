@@ -18,7 +18,13 @@ from .microbench import (
     reduction_vs,
     run_microbenchmark,
 )
-from .reporting import format_table, print_table, series_by
+from .reporting import (
+    DEGRADATION_HEADERS,
+    degradation_row,
+    format_table,
+    print_table,
+    series_by,
+)
 from .stamp_matrix import (
     FIG10_BACKENDS,
     FIG10_THREADS,
@@ -30,6 +36,7 @@ from .stamp_matrix import (
 
 __all__ = [
     "Cell",
+    "DEGRADATION_HEADERS",
     "FIG10_BACKENDS",
     "FIG10_THREADS",
     "FIG9_ALGORITHMS",
@@ -37,6 +44,7 @@ __all__ = [
     "FIG9_THREADS",
     "MicroPoint",
     "StampMatrix",
+    "degradation_row",
     "figure9_sweep",
     "format_table",
     "print_table",

@@ -40,6 +40,38 @@ def print_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "
     print(format_table(headers, rows, title))
 
 
+#: column headers matching :func:`degradation_row` (the chaos CLI and
+#: ``bench_chaos_degradation.py`` print the same table).
+DEGRADATION_HEADERS = [
+    "commits",
+    "aborts",
+    "faults",
+    "link_rtx",
+    "timeouts",
+    "resubmits",
+    "failovers",
+    "failbacks",
+    "sw_share",
+    "makespan_ms",
+]
+
+
+def degradation_row(stats) -> list:
+    """The fault/degradation counters of one run as table cells."""
+    return [
+        stats.commits,
+        stats.aborts,
+        stats.total_faults_injected,
+        stats.link_retries,
+        stats.validation_timeouts,
+        stats.validation_resubmits,
+        stats.failovers,
+        stats.failbacks,
+        f"{stats.degraded_validation_share:.1%}",
+        stats.makespan_ns / 1e6,
+    ]
+
+
 def series_by(points, key_fields: Sequence[str], value_field: str) -> Dict:
     """Group a list of dataclass points into {key_tuple: [values]}."""
     out: Dict = {}

@@ -9,6 +9,9 @@ Examples::
     python -m repro fig11
     python -m repro resources --window 128 --bits 1024
     python -m repro stamp vacation ROCoCoTM --threads 14
+    python -m repro stamp kmeans ROCoCoTM --faults mixed
+    python -m repro chaos kmeans --schedule all --sanitize
+    python -m repro sanitize vacation ROCoCoTM --faults stall
 
 Each subcommand prints the rows/series of the corresponding figure or
 table; see ``benchmarks/`` for the asserted pytest-benchmark variants.
@@ -21,12 +24,15 @@ import sys
 from typing import List, Optional
 
 from .bench import (
+    DEGRADATION_HEADERS,
     FIG10_THREADS,
+    degradation_row,
     figure9_sweep,
     print_table,
     run_matrix,
     validation_overhead_rows,
 )
+from .faults import BUILTIN_SCHEDULES
 from .runtime import (
     CoarseLockBackend,
     RococoTMBackend,
@@ -48,6 +54,20 @@ BACKENDS = {
     "SI-MVCC": SnapshotIsolationBackend,
 }
 WORKLOADS = {w.name: w for w in ALL_WORKLOADS + CONTENTION_VARIANTS + EXTRA_WORKLOADS}
+
+
+def _make_backend(name: str, faults: Optional[str] = None, fault_seed: int = 0):
+    """A backend instance, optionally running under a fault schedule."""
+    if faults:
+        if name != "ROCoCoTM":
+            raise SystemExit(
+                "--faults injects into the FPGA validation path and "
+                "requires the ROCoCoTM backend"
+            )
+        from .faults import build_chaos_backend
+
+        return build_chaos_backend(faults, fault_seed)
+    return BACKENDS[name]()
 
 
 def _cmd_list(_args) -> int:
@@ -186,7 +206,7 @@ def _cmd_resources(args) -> int:
 
 def _cmd_stamp(args) -> int:
     workload_cls = WORKLOADS[args.workload]
-    backend = BACKENDS[args.backend]()
+    backend = _make_backend(args.backend, args.faults, args.fault_seed)
     n_threads = 1 if args.backend == "sequential" else args.threads
     stats = run_stamp(
         workload_cls, backend, n_threads, scale=args.scale, seed=args.seed
@@ -195,6 +215,55 @@ def _cmd_stamp(args) -> int:
     if stats.validations:
         print(f"mean validation: {stats.mean_validation_us:.3f} us/txn")
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    """Run the fault matrix on one workload; optionally sanitized."""
+    from .faults import BUILTIN_SCHEDULES, build_chaos_backend, chaos_sanitize
+
+    workload_cls = WORKLOADS[args.workload]
+    schedules = (
+        list(BUILTIN_SCHEDULES) if "all" in args.schedule else args.schedule
+    )
+    rows = []
+    violations = 0
+    for sched in schedules:
+        if args.sanitize:
+            [(_, report, backend)] = chaos_sanitize(
+                workload_cls,
+                [sched],
+                n_threads=args.threads,
+                scale=args.scale,
+                seed=args.seed,
+                fault_seed=args.fault_seed,
+            )
+            ok = report.ok
+            if not ok:
+                violations += 1
+                print(f"--- {sched}: SANITIZER VIOLATIONS ---", file=sys.stderr)
+                print(report.summary(), file=sys.stderr)
+        else:
+            backend = build_chaos_backend(
+                sched, args.fault_seed, irrevocable_after=args.irrevocable_after
+            )
+            run_stamp(
+                workload_cls, backend, args.threads, scale=args.scale, seed=args.seed
+            )
+            ok = True
+        rows.append(
+            [sched]
+            + degradation_row(backend.stats)
+            + [("ok" if ok else "FAIL") if args.sanitize else "-"]
+        )
+    print_table(
+        ["schedule"] + DEGRADATION_HEADERS + ["oracles"],
+        rows,
+        title=(
+            f"Chaos matrix: {args.workload} @ {args.threads} threads "
+            f"(scale {args.scale}, seed {args.seed}, fault seed {args.fault_seed})"
+        ),
+    )
+    return 1 if violations else 0
 
 
 def _cmd_sanitize(args) -> int:
@@ -215,7 +284,7 @@ def _cmd_sanitize(args) -> int:
     if args.diff:
         report = diff_backends(
             workload_cls,
-            BACKENDS[args.backend](),
+            _make_backend(args.backend, args.faults, args.fault_seed),
             BACKENDS[args.diff](),
             n_threads,
             scale=args.scale,
@@ -225,7 +294,7 @@ def _cmd_sanitize(args) -> int:
     else:
         report, sanitized, _ = run_sanitized(
             workload_cls,
-            BACKENDS[args.backend](),
+            _make_backend(args.backend, args.faults, args.fault_seed),
             n_threads,
             scale=args.scale,
             seed=args.seed,
@@ -297,7 +366,41 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--threads", type=int, default=8)
     ps.add_argument("--scale", type=float, default=0.5)
     ps.add_argument("--seed", type=int, default=1)
+    ps.add_argument(
+        "--faults",
+        choices=BUILTIN_SCHEDULES,
+        help="inject this fault schedule into the validation path (ROCoCoTM only)",
+    )
+    ps.add_argument("--fault-seed", type=int, default=0)
     ps.set_defaults(func=_cmd_stamp)
+
+    pc = sub.add_parser(
+        "chaos",
+        help="fault matrix: run every schedule, report degradation counters",
+    )
+    pc.add_argument("workload", choices=sorted(WORKLOADS))
+    pc.add_argument(
+        "--schedule",
+        nargs="+",
+        default=["all"],
+        choices=sorted(BUILTIN_SCHEDULES) + ["all"],
+    )
+    pc.add_argument("--threads", type=int, default=4)
+    pc.add_argument("--scale", type=float, default=0.25)
+    pc.add_argument("--seed", type=int, default=1)
+    pc.add_argument("--fault-seed", type=int, default=0)
+    pc.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="replay each schedule through the sanitizer oracles (exit 1 on violations)",
+    )
+    pc.add_argument(
+        "--irrevocable-after",
+        type=int,
+        default=None,
+        help="enable the irrevocable escape hatch after N consecutive aborts",
+    )
+    pc.set_defaults(func=_cmd_chaos)
 
     pz = sub.add_parser(
         "sanitize",
@@ -327,6 +430,12 @@ def build_parser() -> argparse.ArgumentParser:
     pz.add_argument(
         "--dump-log", metavar="PATH", help="write the event log as JSONL"
     )
+    pz.add_argument(
+        "--faults",
+        choices=BUILTIN_SCHEDULES,
+        help="sanitize under this fault schedule (ROCoCoTM only)",
+    )
+    pz.add_argument("--fault-seed", type=int, default=0)
     pz.set_defaults(func=_cmd_sanitize)
 
     pl = sub.add_parser(

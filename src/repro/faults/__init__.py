@@ -1,0 +1,52 @@
+"""Fault injection + graceful degradation for the hybrid runtime.
+
+The paper's runtime trusts the FPGA engine and the CCI link
+unconditionally; production hardware does not deserve that trust.
+This package supplies both halves of the robustness story:
+
+* :class:`FaultPlan` / :func:`named_plan` — seeded, deterministic,
+  composable fault models (message drop, latency spike, CRC-detected
+  verdict corruption, engine stall, engine reset).
+* :class:`FaultyLink` — an :class:`~repro.hw.InterconnectLink` facade
+  injecting per-message faults with bounded retransmission.
+* :class:`ChaosValidationEngine` — an
+  :class:`~repro.hw.FpgaValidationEngine` wrapper: same ``submit``
+  surface, fault-perturbed timing, exactly-once validation under
+  resubmission, :class:`ValidationTimeout` when patience runs out.
+* :class:`DegradationManager` — the ladder inside ``RococoTMBackend``:
+  timeout -> bounded resubmit -> software-validation failover (shared
+  ValidationManager, decision-identical) -> irrevocable global-lock
+  mode; health-probe-driven fail-back.
+* :func:`chaos_sanitize` — the fault matrix replayed through the
+  sanitizer's serializability/opacity oracles (see docs/FAULTS.md).
+"""
+
+from .chaos import build_chaos_backend, chaos_sanitize
+from .degradation import (
+    MODE_FPGA,
+    MODE_SOFTWARE,
+    DegradationManager,
+    DegradationPolicy,
+    ValidationUnavailable,
+)
+from .engine import ChaosValidationEngine, ValidationTimeout
+from .link import FaultyLink, LinkDown
+from .plan import BUILTIN_SCHEDULES, FaultPlan, all_plans, named_plan
+
+__all__ = [
+    "BUILTIN_SCHEDULES",
+    "ChaosValidationEngine",
+    "DegradationManager",
+    "DegradationPolicy",
+    "FaultPlan",
+    "FaultyLink",
+    "LinkDown",
+    "MODE_FPGA",
+    "MODE_SOFTWARE",
+    "ValidationTimeout",
+    "ValidationUnavailable",
+    "all_plans",
+    "build_chaos_backend",
+    "chaos_sanitize",
+    "named_plan",
+]

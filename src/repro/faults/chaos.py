@@ -1,0 +1,69 @@
+"""Chaos drivers: build fault-injected backends, replay the fault
+matrix through the sanitizer's oracles.
+
+Runtime imports are deferred into the functions: ``repro.runtime``
+imports this package for the degradation ladder, and these helpers
+close the loop in the other direction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .degradation import DegradationPolicy
+from .engine import ChaosValidationEngine
+from .plan import BUILTIN_SCHEDULES, FaultPlan, named_plan
+
+
+def build_chaos_backend(
+    schedule: str = "mixed",
+    fault_seed: int = 0,
+    window: int = 64,
+    plan: Optional[FaultPlan] = None,
+    policy: Optional[DegradationPolicy] = None,
+    irrevocable_after: Optional[int] = None,
+):
+    """A ``RococoTMBackend`` whose engine runs under a fault plan."""
+    from ..hw import FpgaValidationEngine
+    from ..runtime import RococoTMBackend
+
+    plan = plan if plan is not None else named_plan(schedule, fault_seed)
+    policy = policy or DegradationPolicy()
+    engine = ChaosValidationEngine(
+        FpgaValidationEngine(window=window), plan, timeout_ns=policy.timeout_ns
+    )
+    return RococoTMBackend(
+        window=window,
+        engine=engine,
+        degradation=policy,
+        irrevocable_after=irrevocable_after,
+    )
+
+
+def chaos_sanitize(
+    workload_cls,
+    schedules: Optional[Sequence[str]] = None,
+    n_threads: int = 4,
+    scale: float = 0.25,
+    seed: int = 1,
+    fault_seed: int = 0,
+) -> List[Tuple[str, object, object]]:
+    """Replay every fault schedule through the sanitizer's oracles.
+
+    Runs *workload_cls* under a chaos-wrapped ROCoCoTM once per
+    schedule, fully sanitized (serializability, opacity, doomed reads,
+    lost updates, write-back races, workload invariants).  Returns
+    ``[(schedule, report, backend), ...]`` — correctness must be
+    invariant under every fault the framework can inject, so any
+    non-ok report is a bug.
+    """
+    from ..sanitizer.dynamic import run_sanitized
+
+    results: List[Tuple[str, object, object]] = []
+    for name in schedules if schedules is not None else BUILTIN_SCHEDULES:
+        backend = build_chaos_backend(name, fault_seed)
+        report, _, _ = run_sanitized(
+            workload_cls, backend, n_threads, scale=scale, seed=seed
+        )
+        results.append((name, report, backend))
+    return results

@@ -1,0 +1,172 @@
+"""The degradation ladder for the hybrid runtime's validation path.
+
+``RococoTMBackend.commit`` used to block on ``engine.submit()``
+unconditionally — one lost verdict wedged the whole system.  The
+:class:`DegradationManager` turns that single call into a ladder:
+
+1. **FPGA path** (normal): submit to the primary engine.  A
+   :class:`~repro.faults.engine.ValidationTimeout` charges the wait
+   and triggers a bounded **resubmission** (the engine's response
+   buffer makes resubmission exactly-once).
+2. **Software failover**: after ``max_resubmits`` fruitless attempts
+   the validation path fails over to a
+   :class:`~repro.hw.SoftwareValidationEngine` *sharing the primary's
+   ValidationManager*, so decisions continue from the same signature
+   window and matrix — decision-identical to §5.1's dedicated-thread
+   baseline, just slower.  Health probes (an independent RNG stream on
+   the chaos engine) run every ``probe_interval_ns``; after
+   ``probe_successes`` consecutive green probes the path fails back to
+   the FPGA.
+3. **Irrevocable global-lock mode** (last rung): with software
+   failover disabled (or absent), :class:`ValidationUnavailable`
+   propagates to the backend, which aborts the transaction and re-runs
+   it irrevocably under the global lock — the §4.2 escape hatch, which
+   needs no validation at all.
+
+A fault-free primary never raises, so with a pristine engine the
+ladder is a zero-cost pass-through (bit-identical behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..hw.engine import ValidationResponse
+from .engine import ValidationTimeout
+
+MODE_FPGA = "fpga"
+MODE_SOFTWARE = "software"
+
+
+class ValidationUnavailable(Exception):
+    """Every rung short of the global lock failed; ``at_ns`` is when
+    the CPU gave up (timeout waits already charged)."""
+
+    def __init__(self, at_ns: float):
+        super().__init__(f"validation unavailable at {at_ns:.0f} ns")
+        self.at_ns = at_ns
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Knobs of the ladder (times in simulated ns)."""
+
+    #: CPU-side patience per submission attempt.
+    timeout_ns: float = 50_000.0
+    #: resubmissions to the primary before failing over.
+    max_resubmits: int = 2
+    #: rung 2 enabled?  False jumps straight to the global-lock rung.
+    software_failover: bool = True
+    #: health-probe cadence while failed over, and how many consecutive
+    #: green probes earn the fail-back.
+    probe_interval_ns: float = 30_000.0
+    probe_successes: int = 2
+    #: extra driver backoff multiplier after fault-caused aborts.
+    fault_backoff_scale: float = 8.0
+
+
+class DegradationManager:
+    """Routes validation submissions down the degradation ladder."""
+
+    def __init__(
+        self,
+        primary,
+        software=None,
+        policy: Optional[DegradationPolicy] = None,
+    ):
+        self.primary = primary
+        self.software = software
+        self.policy = policy or DegradationPolicy()
+        self.mode = MODE_FPGA
+        self.timeouts = 0
+        self.resubmits = 0
+        self.failovers = 0
+        self.failbacks = 0
+        self.software_validations = 0
+        self.probes = 0
+        #: instants of each transition, for failover-latency reporting.
+        self.failover_at: List[float] = []
+        self.failback_at: List[float] = []
+        self._next_probe_ns = 0.0
+        self._probe_ok = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, request, now_ns: float, stats=None) -> ValidationResponse:
+        """Validate *request*, degrading as needed; may raise
+        :class:`ValidationUnavailable` (the caller's global-lock rung).
+        """
+        if self.mode == MODE_SOFTWARE:
+            self._maybe_probe(now_ns, stats)
+        if self.mode == MODE_SOFTWARE:
+            return self._submit_software(request, now_ns, stats)
+
+        at = now_ns
+        resubmits = 0
+        while True:
+            try:
+                return self.primary.submit(request, at)
+            except ValidationTimeout as timeout:
+                self.timeouts += 1
+                if stats is not None:
+                    stats.validation_timeouts += 1
+                at = max(at, timeout.at_ns)
+                if resubmits >= self.policy.max_resubmits:
+                    break
+                resubmits += 1
+                self.resubmits += 1
+                if stats is not None:
+                    stats.validation_resubmits += 1
+
+        if self.software is None or not self.policy.software_failover:
+            raise ValidationUnavailable(at)
+        self._failover(at, stats)
+
+        # The primary may have decided the request before its response
+        # was lost; honour that verdict rather than re-validating.
+        recall = getattr(self.primary, "recall", None)
+        verdict = recall(request.label) if recall is not None else None
+        if verdict is not None:
+            return ValidationResponse(
+                verdict=verdict,
+                sent_ns=now_ns,
+                arrived_ns=at,
+                started_ns=at,
+                finished_ns=at,
+                ready_ns=at,
+            )
+        return self._submit_software(request, at, stats)
+
+    # ------------------------------------------------------------------
+    def _submit_software(self, request, now_ns: float, stats) -> ValidationResponse:
+        self.software_validations += 1
+        if stats is not None:
+            stats.software_validations += 1
+        return self.software.submit(request, now_ns)
+
+    def _failover(self, at_ns: float, stats) -> None:
+        self.mode = MODE_SOFTWARE
+        self.failovers += 1
+        self.failover_at.append(at_ns)
+        if stats is not None:
+            stats.failovers += 1
+        self._next_probe_ns = at_ns + self.policy.probe_interval_ns
+        self._probe_ok = 0
+
+    def _maybe_probe(self, now_ns: float, stats) -> None:
+        if now_ns < self._next_probe_ns:
+            return
+        self._next_probe_ns = now_ns + self.policy.probe_interval_ns
+        self.probes += 1
+        probe = getattr(self.primary, "probe", None)
+        healthy = bool(probe(now_ns)) if probe is not None else True
+        if not healthy:
+            self._probe_ok = 0
+            return
+        self._probe_ok += 1
+        if self._probe_ok >= self.policy.probe_successes:
+            self.mode = MODE_FPGA
+            self.failbacks += 1
+            self.failback_at.append(now_ns)
+            if stats is not None:
+                stats.failbacks += 1

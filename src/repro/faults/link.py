@@ -1,0 +1,124 @@
+"""A fault-injecting facade over :class:`repro.hw.InterconnectLink`.
+
+:class:`FaultyLink` presents the exact interface the engines consume
+(``request_ns`` / ``response_ns`` / ``lines_for_addresses`` /
+``round_trip_ns``) but each crossing consults the :class:`FaultPlan`:
+
+* a *spike* adds ``spike_ns`` of congestion delay;
+* a *drop* loses the message — the sender's ack timer
+  (``retry_timeout_ns``, doubling per attempt) expires and it
+  retransmits;
+* a *corrupt* response arrives with a failing CRC — the receiver
+  NACKs, and the retransmission again backs off exponentially.
+
+Retries are bounded by ``max_link_retries``; exhausting them raises
+:class:`LinkDown` carrying the time already burned, which the engine
+wrapper converts into a validation timeout for the degradation ladder.
+
+With a null plan every method returns exactly the base link's number —
+the wrapper adds no latency and consumes no randomness.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Optional
+
+from ..hw.link import InterconnectLink
+from .plan import FaultPlan
+
+
+class LinkDown(Exception):
+    """Bounded link-level retries exhausted; carries the wasted time."""
+
+    def __init__(self, elapsed_ns: float, cause: str):
+        super().__init__(f"link down after retries ({cause}, {elapsed_ns:.0f} ns wasted)")
+        self.elapsed_ns = elapsed_ns
+        self.cause = cause
+
+
+class FaultyLink:
+    """Drop-in ``InterconnectLink`` facade with injected message faults."""
+
+    def __init__(
+        self,
+        base: InterconnectLink,
+        plan: FaultPlan,
+        rng: Optional[random.Random] = None,
+        counters: Optional[Counter] = None,
+    ):
+        self.base = base
+        self.plan = plan
+        self.rng = rng if rng is not None else random.Random(plan.seed)
+        #: injected-fault tally, shared with the owning engine wrapper.
+        self.counters = counters if counters is not None else Counter()
+        #: total link-level retransmissions (drop + CRC).
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    # InterconnectLink interface
+    # ------------------------------------------------------------------
+    @property
+    def to_device_ns(self) -> float:
+        return self.base.to_device_ns
+
+    @property
+    def from_device_ns(self) -> float:
+        return self.base.from_device_ns
+
+    @property
+    def beat_ns(self) -> float:
+        return self.base.beat_ns
+
+    @property
+    def round_trip_ns(self) -> float:
+        return self.base.round_trip_ns
+
+    @staticmethod
+    def lines_for_addresses(n_addresses: int) -> int:
+        return InterconnectLink.lines_for_addresses(n_addresses)
+
+    def request_ns(self, cachelines: int) -> float:
+        """To-device crossing; drops/spikes apply, CRC does not (the
+        modeled CRC protects the verdict path, §5.2's response word)."""
+        return self._leg(self.base.request_ns(cachelines), crc=False)
+
+    def response_ns(self, cachelines: int = 1) -> float:
+        """From-device crossing; the verdict carries the modeled CRC."""
+        return self._leg(self.base.response_ns(cachelines), crc=True)
+
+    # ------------------------------------------------------------------
+    def _leg(self, base_ns: float, crc: bool) -> float:
+        plan = self.plan
+        if plan.is_null:
+            return base_ns
+        delay = 0.0
+        attempt = 0
+        while True:
+            if plan.spike_rate and self.rng.random() < plan.spike_rate:
+                self.counters["spike"] += 1
+                delay += plan.spike_ns
+            lost = bool(plan.drop_rate) and self.rng.random() < plan.drop_rate
+            corrupted = (
+                not lost
+                and crc
+                and bool(plan.corrupt_rate)
+                and self.rng.random() < plan.corrupt_rate
+            )
+            if not lost and not corrupted:
+                return delay + base_ns
+            backoff = plan.retry_timeout_ns * (2.0 ** attempt)
+            if lost:
+                # Nothing arrived: the sender burns a full ack timeout.
+                self.counters["drop"] += 1
+                delay += backoff
+            else:
+                # The message crossed but failed its CRC: the wasted
+                # crossing is paid before the NACK'd retransmission.
+                self.counters["corrupt"] += 1
+                delay += base_ns + backoff
+            self.retries += 1
+            attempt += 1
+            if attempt > plan.max_link_retries:
+                raise LinkDown(delay, "drop" if lost else "corrupt")

@@ -1,0 +1,156 @@
+"""Deterministic fault plans for the hybrid runtime.
+
+A :class:`FaultPlan` is a declarative, *seeded* description of how the
+"hardware" misbehaves during a run.  Five composable fault models,
+mirroring the failure surface of a real CPU-FPGA deployment (the CCI
+channel and the accelerator itself):
+
+* **drop** — a link message (request or verdict) is lost; the sender's
+  ack timer expires and it retransmits with exponential backoff.
+* **spike** — a link message is delayed by a congestion spike.
+* **corrupt** — a verdict arrives with a failing (modeled) CRC; the
+  receiver NACKs and the engine retransmits, again with backoff.
+* **stall** — the validation pipeline stops servicing requests for a
+  wall-clock window (clock-domain loss, reconfiguration, thermal
+  throttle); queued work resumes when the window ends.
+* **reset** — the engine reboots at a given instant, wiping its
+  signature history and reachability matrix (see
+  :meth:`repro.hw.manager.ValidationManager.reset` for why this is
+  *correct* but costs conservative window-overflow aborts).
+
+Everything is driven by ``random.Random(seed)`` streams consumed in
+submission order, so a fault campaign is exactly reproducible — the
+property the sanitizer's chaos mode (and TM001) relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: ack-timeout before a lost message is retransmitted (ns); doubles
+#: per attempt (exponential backoff).
+DEFAULT_RETRY_TIMEOUT_NS = 2_500.0
+#: bounded link-level retries before the link declares itself down.
+DEFAULT_MAX_LINK_RETRIES = 4
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, declarative fault schedule (all rates per message)."""
+
+    seed: int = 0
+    #: P(message lost) per link crossing.
+    drop_rate: float = 0.0
+    #: P(congestion spike) per link crossing, and its magnitude.
+    spike_rate: float = 0.0
+    spike_ns: float = 20_000.0
+    #: P(verdict CRC failure) per response crossing.
+    corrupt_rate: float = 0.0
+    #: half-open [start, end) windows during which the engine stalls.
+    stall_windows: Tuple[Tuple[float, float], ...] = ()
+    #: instants at which the engine resets (history/window wipe).
+    reset_at: Tuple[float, ...] = ()
+    #: link retransmission protocol parameters.
+    retry_timeout_ns: float = DEFAULT_RETRY_TIMEOUT_NS
+    max_link_retries: int = DEFAULT_MAX_LINK_RETRIES
+
+    def __post_init__(self):
+        for rate in (self.drop_rate, self.spike_rate, self.corrupt_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("fault rates must be probabilities")
+        for start, end in self.stall_windows:
+            if end <= start:
+                raise ValueError("stall windows must be non-empty [start, end)")
+        if self.max_link_retries < 0:
+            raise ValueError("max_link_retries must be non-negative")
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan injects nothing — the wrapper must then
+        be a bit-identical pass-through (acceptance criterion)."""
+        return (
+            self.drop_rate == 0.0
+            and self.spike_rate == 0.0
+            and self.corrupt_rate == 0.0
+            and not self.stall_windows
+            and not self.reset_at
+        )
+
+    def stall_end(self, at_ns: float) -> float:
+        """End of the stall window covering *at_ns*, or *at_ns* itself."""
+        for start, end in self.stall_windows:
+            if start <= at_ns < end:
+                return end
+        return at_ns
+
+
+# ----------------------------------------------------------------------
+# Built-in schedules — the fault matrix CI and the chaos benchmark run.
+# Stall/reset instants are tuned to land *inside* the makespan of the
+# small (scale ~0.25, 4-thread) STAMP smoke configurations — roughly
+# 100-400 us of simulated time — so every fault model demonstrably
+# fires in CI.  The stall window outlasts the full timeout+resubmit
+# budget (3 x 50 us), forcing the ladder through software failover and
+# back.
+# ----------------------------------------------------------------------
+def _drop(seed: int) -> FaultPlan:
+    return FaultPlan(seed=seed, drop_rate=0.05)
+
+
+def _spike(seed: int) -> FaultPlan:
+    return FaultPlan(seed=seed, spike_rate=0.25, spike_ns=20_000.0)
+
+
+def _corrupt(seed: int) -> FaultPlan:
+    return FaultPlan(seed=seed, corrupt_rate=0.10)
+
+
+def _stall(seed: int) -> FaultPlan:
+    return FaultPlan(seed=seed, stall_windows=((30_000.0, 230_000.0),))
+
+
+def _reset(seed: int) -> FaultPlan:
+    return FaultPlan(seed=seed, reset_at=(40_000.0, 90_000.0))
+
+
+def _mixed(seed: int) -> FaultPlan:
+    return FaultPlan(
+        seed=seed,
+        drop_rate=0.02,
+        spike_rate=0.10,
+        spike_ns=10_000.0,
+        corrupt_rate=0.05,
+        stall_windows=((60_000.0, 120_000.0),),
+        reset_at=(150_000.0,),
+    )
+
+
+_BUILDERS = {
+    "drop": _drop,
+    "spike": _spike,
+    "corrupt": _corrupt,
+    "stall": _stall,
+    "reset": _reset,
+    "mixed": _mixed,
+}
+
+#: the names every chaos matrix (CI, tests, `repro chaos --schedule all`)
+#: iterates, in a stable order.
+BUILTIN_SCHEDULES: Tuple[str, ...] = tuple(sorted(_BUILDERS))
+
+
+def named_plan(name: str, seed: int = 0) -> FaultPlan:
+    """One of the built-in fault schedules, parameterized by seed."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault schedule {name!r}; choose from {BUILTIN_SCHEDULES}"
+        ) from None
+    return builder(seed)
+
+
+def all_plans(seed: int = 0) -> Dict[str, FaultPlan]:
+    """Every built-in schedule, name -> plan."""
+    return {name: named_plan(name, seed) for name in BUILTIN_SCHEDULES}

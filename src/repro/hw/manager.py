@@ -53,10 +53,16 @@ class ValidationManager:
         self.detector = ConflictDetector(self.config, window)
         self.matrix = WindowMatrix(window)
         self.total_commits = 0
+        #: commit index below which history has been *wiped* (engine
+        #: reset): snapshots older than this must abort like any other
+        #: window overflow, because their forward edges are gone.
+        self.reset_floor = 0
         self.stats_commits = 0
         self.stats_cycle_aborts = 0
         self.stats_overflow_aborts = 0
         self.stats_taint_aborts = 0
+        self.stats_resets = 0
+        self.stats_external_commits = 0
 
     @property
     def stats_aborts(self) -> int:
@@ -73,7 +79,8 @@ class ValidationManager:
             # (§5.3), but accept them gracefully if they do.
             return Verdict(committed=True)
 
-        if request.snapshot < self.detector.oldest_commit_index:
+        horizon = max(self.reset_floor, self.detector.oldest_commit_index)
+        if request.snapshot < horizon:
             self.stats_overflow_aborts += 1
             return Verdict(False, "window-overflow")
 
@@ -100,3 +107,46 @@ class ValidationManager:
             forward=forward,
             backward=backward,
         )
+
+    # ------------------------------------------------------------------
+    def record_external_commit(
+        self,
+        label: Hashable,
+        read_addrs: Tuple[int, ...],
+        write_addrs: Tuple[int, ...],
+    ) -> None:
+        """Enter a commit decided *off-engine* into the bookkeeping.
+
+        The irrevocable global-lock path commits without validation,
+        but its commit still bumps the runtime's GlobalTS; recording it
+        here keeps the manager's commit indices aligned with snapshot
+        numbering and makes later conflicts against it visible.  An
+        irrevocable transaction runs under a global fence, so it
+        serializes after every resident transaction: all its edges are
+        backward, the probe cannot fail, and the entry slots in like
+        any other commit.
+        """
+        forward, backward = self.detector.edges(
+            read_addrs, write_addrs, self.total_commits
+        )
+        _, proceeding, succeeding = self.matrix.probe(forward, backward)
+        self.matrix.commit(proceeding, succeeding)
+        self.detector.record_commit(label, self.total_commits, read_addrs, write_addrs)
+        self.total_commits += 1
+        self.stats_external_commits += 1
+
+    def reset(self) -> None:
+        """Model an engine reset: signature history + matrix wiped.
+
+        Correctness is preserved conservatively: ``reset_floor`` pins
+        the overflow horizon at the wipe point, so any transaction
+        whose snapshot predates the reset aborts (its forward edges
+        can no longer be tracked), while transactions that observed
+        everything up to the reset validate soundly against the
+        post-reset window alone — exactly the window-overflow argument
+        of §4.2, applied to the whole history at once.
+        """
+        self.reset_floor = self.total_commits
+        self.detector = ConflictDetector(self.config, self.window)
+        self.matrix = WindowMatrix(self.window)
+        self.stats_resets += 1

@@ -122,8 +122,16 @@ ProgramOp = (Transaction, Work, AwaitBarrier)
 
 class TransactionAborted(Exception):
     """Raised inside backends to unwind an attempt; never escapes to
-    workload code (the driver catches it and retries)."""
+    workload code (the driver catches it and retries).
 
-    def __init__(self, cause: str):
+    ``at_ns``, when set, is the simulated time the abort was decided —
+    later than the operation's start when the backend burned time
+    discovering the failure (e.g. validation timeouts climbing the
+    degradation ladder); the driver advances the thread clock to it so
+    the wasted wait is charged.
+    """
+
+    def __init__(self, cause: str, at_ns: Optional[float] = None):
         super().__init__(cause)
         self.cause = cause
+        self.at_ns = at_ns

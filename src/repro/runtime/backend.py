@@ -112,5 +112,16 @@ class TMBackend:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    def abort_backoff_scale(self, cause: str) -> float:
+        """Extra driver-backoff multiplier for aborts of *cause*.
+
+        Backends override this to park threads harder after aborts
+        that signal an environmental condition rather than contention
+        — e.g. ROCoCoTM's validation-path outages, where hammering the
+        dead engine only burns timeouts.
+        """
+        return 1.0
+
+    # ------------------------------------------------------------------
     def run_finished(self) -> None:
         """Hook for end-of-run bookkeeping (optional)."""

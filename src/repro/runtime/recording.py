@@ -120,6 +120,9 @@ class RecordingBackend(TMBackend):
         # from read/write/commit were recorded when they unwound.
         return self.inner.rollback(tid, now, cause)
 
+    def abort_backoff_scale(self, cause: str) -> float:
+        return self.inner.abort_backoff_scale(cause)
+
     def run_finished(self) -> None:
         self.inner.run_finished()
 

@@ -32,7 +32,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..hw import FpgaValidationEngine, ValidationRequest
+from ..faults.degradation import (
+    DegradationManager,
+    DegradationPolicy,
+    ValidationUnavailable,
+)
+from ..hw import FpgaValidationEngine, SoftwareValidationEngine, ValidationRequest
 from ..signatures import BloomSignature, SignatureConfig
 from .api import TransactionAborted
 from .backend import ParkThread, TMBackend
@@ -90,16 +95,45 @@ class RococoTMBackend(TMBackend):
         signature_config: Optional[SignatureConfig] = None,
         engine: Optional[FpgaValidationEngine] = None,
         irrevocable_after: Optional[int] = None,
+        degradation: Optional[DegradationPolicy] = None,
     ):
         """``irrevocable_after``: consecutive aborts after which a
         transaction re-executes *irrevocably* under a global lock —
         the forward-progress escape hatch §4.2 prescribes for long
         transactions starved by sliding-window overflow.  None (the
         paper's evaluated configuration) disables it.
+
+        ``degradation``: the validation-path fault-tolerance ladder
+        (see docs/FAULTS.md).  Commit submissions go through a
+        :class:`DegradationManager`: timeout -> bounded resubmission ->
+        failover to a :class:`SoftwareValidationEngine` sharing the
+        primary's ValidationManager -> (everything exhausted) abort +
+        irrevocable re-execution.  With a pristine engine the ladder
+        never engages and behaviour is bit-identical to the direct
+        ``engine.submit`` call.
         """
         super().__init__()
         self.config = signature_config or SignatureConfig()
         self.engine = engine or FpgaValidationEngine(window=window, config=self.config)
+        policy = degradation or DegradationPolicy()
+        if getattr(self.engine, "plan", None) is not None and getattr(
+            self.engine, "timeout_ns", 1
+        ) is None:
+            # A chaos engine with no CPU-side patience configured
+            # inherits the ladder's; otherwise faults could block a
+            # commit forever and the ladder would never engage.
+            self.engine.timeout_ns = policy.timeout_ns
+        software = None
+        if policy.software_failover:
+            software = SoftwareValidationEngine(
+                window=self.engine.manager.window,
+                config=self.engine.manager.config,
+            )
+            # Decision-identical failover (§5.1): the software engine
+            # drives the *same* ValidationManager, so the signature
+            # window and reachability matrix carry over seamlessly.
+            software.manager = self.engine.manager
+        self.degradation = DegradationManager(self.engine, software, policy)
         self.global_ts = 0
         self.commit_queue: List[BloomSignature] = []
         self._updates: List[_UpdateEntry] = []
@@ -107,6 +141,7 @@ class RococoTMBackend(TMBackend):
         self._label = 0
         self.irrevocable_after = irrevocable_after
         self._failures: Dict[int, int] = {}
+        self._force_irrevocable: set = set()
         self._irrevocable_lock = GlobalLock()
         self._irrevocable: set = set()
         self._lock_watchers: List[int] = []
@@ -120,12 +155,13 @@ class RococoTMBackend(TMBackend):
             # in-place writes, so everyone waits for it to finish.
             self._lock_watchers.append(tid)
             raise ParkThread()
-        if (
+        if tid in self._force_irrevocable or (
             self.irrevocable_after is not None
             and self._failures.get(tid, 0) >= self.irrevocable_after
         ):
             at = self._irrevocable_lock.acquire(tid, now, self.simulator)
             self._irrevocable.add(tid)
+            self._force_irrevocable.discard(tid)
         else:
             at = now
         ts = self.global_ts
@@ -227,6 +263,7 @@ class RococoTMBackend(TMBackend):
             # Read-only fast path: commits directly on the CPU (§5.3).
             self.stats.read_only_commits += 1
             self._failures[tid] = 0
+            self._txns.pop(tid, None)
             return now + self.scaled(COMMIT_RO_NS)
 
         if self._irrevocable_lock.held:
@@ -242,10 +279,20 @@ class RococoTMBackend(TMBackend):
             write_addrs=tuple(txn.write_addrs),
             snapshot=txn.valid_ts,
         )
-        response = self.engine.submit(request, now)
+        try:
+            response = self.degradation.submit(request, now, self.stats)
+        except ValidationUnavailable as outage:
+            # Every validation rung failed: abort, and re-execute this
+            # transaction irrevocably — the global-lock rung needs no
+            # validation at all (docs/FAULTS.md).
+            self._mirror_phantom_slots(txn)
+            self._force_irrevocable.add(tid)
+            self.stats.irrevocable_fallbacks += 1
+            raise TransactionAborted("fpga-unavailable", at_ns=outage.at_ns) from None
         self.stats.validation_ns += response.ready_ns - now
         self.stats.validations += 1
         if not response.verdict.committed:
+            self._mirror_phantom_slots(txn)
             cause = "fpga-" + (response.verdict.reason or "cycle")
             raise TransactionAborted(cause)
 
@@ -265,23 +312,56 @@ class RococoTMBackend(TMBackend):
         self.commit_queue.append(txn.write_sig)
         self.global_ts += 1
         self._failures[tid] = 0
+        self._txns.pop(tid, None)
         return ready
+
+    def _mirror_phantom_slots(self, txn: _TxnState) -> None:
+        """Realign GlobalTS with the engine after a failed validation.
+
+        Under faults the engine may *apply* a commit whose verdict the
+        CPU never receives (a timeout, or a reset wiping the decided
+        verdict before a resubmission could fetch it).  That window
+        slot is real: if the CPU aborts the transaction without
+        accounting for it, every later snapshot trails the engine's
+        head forever — the ghost conflicts with everything and nothing
+        can commit (livelock), and after a reset the floor becomes
+        unreachable.  Any excess of the engine's commit count over
+        GlobalTS at an abort belongs to this transaction's submission
+        ladder, so mirror it with this transaction's write signature.
+        No memory write happens — the slot is conservative ordering
+        metadata only.  With a pristine engine the counters are always
+        equal and this is a no-op.
+        """
+        manager = self.engine.manager
+        while self.global_ts < manager.total_commits:
+            self.commit_queue.append(txn.write_sig)
+            self.global_ts += 1
+            self.stats.phantom_commits += 1
 
     def _commit_irrevocable(self, tid: int, txn: _TxnState, now: float) -> float:
         """Exclusive commit: no validation needed, but the write
         signature still enters the commit queue so optimistic peers
-        track the snapshot correctly afterwards."""
+        track the snapshot correctly afterwards.  Read-only irrevocable
+        transactions write back nothing and pay no write-back time."""
         writeback_end = now + self.scaled(
-            WRITEBACK_PER_WORD_NS * max(1, len(txn.write_addrs))
+            WRITEBACK_PER_WORD_NS * len(txn.write_addrs)
         )
         for addr, value in txn.redo.items():
             self.memory.store(addr, value)
         if txn.write_addrs:
             self.commit_queue.append(txn.write_sig)
             self.global_ts += 1
+            # Keep the engine-side commit indices aligned with GlobalTS:
+            # the engine never saw this commit, but later optimistic
+            # snapshots count it, so it must occupy a window slot.
+            self._label += 1
+            self.engine.manager.record_external_commit(
+                self._label, tuple(txn.read_addrs), tuple(txn.write_addrs)
+            )
         self._irrevocable.discard(tid)
         self._failures[tid] = 0
         self.stats_irrevocable_commits += 1
+        self._txns.pop(tid, None)
         ready = self._irrevocable_lock.release(tid, writeback_end, self.simulator)
         for watcher in self._lock_watchers:
             self.simulator.wake(watcher, ready)
@@ -290,4 +370,19 @@ class RococoTMBackend(TMBackend):
 
     def rollback(self, tid: int, now: float, cause: str) -> float:
         self._failures[tid] = self._failures.get(tid, 0) + 1
+        self._txns.pop(tid, None)
         return now + self.scaled(ROLLBACK_NS)
+
+    # ------------------------------------------------------------------
+    def abort_backoff_scale(self, cause: str) -> float:
+        # Hammering a dead validation path only burns timeouts: park
+        # fault-caused aborts much harder than contention aborts.
+        if cause == "fpga-unavailable":
+            return self.degradation.policy.fault_backoff_scale
+        return 1.0
+
+    def run_finished(self) -> None:
+        counts = getattr(self.engine, "fault_counts", None)
+        if counts:
+            self.stats.faults_injected.update(counts)
+        self.stats.link_retries += getattr(self.engine, "link_retries", 0)

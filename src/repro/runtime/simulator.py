@@ -195,10 +195,12 @@ class Simulator:
                 # A begin can abort (e.g. HTM with the fallback lock
                 # held); charge it like any other abort and retry.
                 self.stats.record_abort(aborted.cause)
+                if aborted.at_ns is not None:
+                    thread.clock = max(thread.clock, aborted.at_ns)
                 thread.clock = self.backend.rollback(
                     thread.tid, thread.clock, aborted.cause
                 )
-                thread.clock += self._backoff_ns(thread, txn.attempt)
+                thread.clock += self._backoff_ns(thread, txn.attempt, aborted.cause)
 
     def _step_transaction(self, thread: _Thread) -> None:
         txn = thread.txn
@@ -218,7 +220,7 @@ class Simulator:
                 self._try_commit(thread, stop.value)
                 return
             except TransactionAborted as aborted:  # pragma: no cover
-                self._handle_abort(thread, aborted.cause)
+                self._handle_abort(thread, aborted)
                 return
         txn.body_value = None
         try:
@@ -227,7 +229,7 @@ class Simulator:
             txn.pending_op = op
             thread.parked = True
         except TransactionAborted as aborted:
-            self._handle_abort(thread, aborted.cause)
+            self._handle_abort(thread, aborted)
 
     def _apply_txn_op(self, thread: _Thread, op: Any) -> None:
         txn = thread.txn
@@ -257,22 +259,29 @@ class Simulator:
             # state machine honest if one ever does.
             raise RuntimeError("commit must not park")
         except TransactionAborted as aborted:
-            self._handle_abort(thread, aborted.cause)
+            self._handle_abort(thread, aborted)
             return
         self.stats.commits += 1
         thread.txn = None
         thread.program_value = result
 
-    def _handle_abort(self, thread: _Thread, cause: str) -> None:
+    def _handle_abort(self, thread: _Thread, aborted: TransactionAborted) -> None:
         txn = thread.txn
-        self.stats.record_abort(cause)
+        self.stats.record_abort(aborted.cause)
+        if aborted.at_ns is not None:
+            thread.clock = max(thread.clock, aborted.at_ns)
         self.stats.wasted_ns += thread.clock - txn.attempt_start
-        thread.clock = self.backend.rollback(thread.tid, thread.clock, cause)
-        thread.clock += self._backoff_ns(thread, txn.attempt)
+        thread.clock = self.backend.rollback(thread.tid, thread.clock, aborted.cause)
+        thread.clock += self._backoff_ns(thread, txn.attempt, aborted.cause)
         self._begin_attempt(thread)
 
-    def _backoff_ns(self, thread: _Thread, attempt: int) -> float:
+    def _backoff_ns(
+        self, thread: _Thread, attempt: int, cause: Optional[str] = None
+    ) -> float:
         model = self.cost_model
         base = model.backoff_base_ns * (2 ** min(attempt - 1, 6))
         jitter = 0.5 + thread.rng.random()
-        return min(base * jitter, model.backoff_cap_ns) * self.backend.backoff_scale
+        scale = self.backend.backoff_scale
+        if cause is not None:
+            scale *= self.backend.abort_backoff_scale(cause)
+        return min(base * jitter, model.backoff_cap_ns) * scale

@@ -40,6 +40,29 @@ class RunStats:
     #: total ns of useful work re-executed because of aborts.
     wasted_ns: float = 0.0
 
+    # -- degradation / fault-injection accounting (docs/FAULTS.md) -----
+    #: validation requests that missed their deadline at least once.
+    validation_timeouts: int = 0
+    #: timed-out requests re-shipped to the engine (bounded per request).
+    validation_resubmits: int = 0
+    #: link-level retransmissions absorbed below the validation layer.
+    link_retries: int = 0
+    #: injected faults by kind (drop/spike/corrupt/stall/reset).
+    faults_injected: Counter = field(default_factory=Counter)
+    #: FPGA -> software validation transitions.
+    failovers: int = 0
+    #: software -> FPGA recoveries (probe-driven).
+    failbacks: int = 0
+    #: validations decided by the software engine while degraded.
+    software_validations: int = 0
+    #: transactions forced onto the irrevocable global-lock rung after
+    #: the whole validation ladder was exhausted.
+    irrevocable_fallbacks: int = 0
+    #: engine-side commits whose verdict never reached the CPU: the
+    #: aborted transaction's window slot is mirrored as a ghost commit
+    #: so CPU and engine snapshots stay aligned (docs/FAULTS.md).
+    phantom_commits: int = 0
+
     @property
     def aborts(self) -> int:
         return sum(self.aborts_by_cause.values())
@@ -66,16 +89,41 @@ class RunStats:
         """Amortized per-transaction validation time (Fig. 11), us."""
         return self.validation_ns / self.validations / 1000.0 if self.validations else 0.0
 
+    @property
+    def total_faults_injected(self) -> int:
+        return sum(self.faults_injected.values())
+
+    @property
+    def degraded_validation_share(self) -> float:
+        """Fraction of validations decided by the software fallback."""
+        return self.software_validations / self.validations if self.validations else 0.0
+
     def record_abort(self, cause: str) -> None:
         self.aborts_by_cause[cause] += 1
 
     def summary(self) -> str:
         causes = ", ".join(f"{k}={v}" for k, v in sorted(self.aborts_by_cause.items()))
-        return (
+        line = (
             f"{self.workload}/{self.backend}@{self.n_threads}t: "
             f"commits={self.commits} aborts={self.aborts} ({causes or 'none'}) "
             f"abort_rate={self.abort_rate:.1%} makespan={self.makespan_ns / 1e6:.3f} ms"
         )
+        if self.total_faults_injected or self.failovers or self.validation_timeouts:
+            kinds = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.faults_injected.items())
+            )
+            line += (
+                f"\n  degradation: faults={self.total_faults_injected}"
+                f" ({kinds or 'none'}) link_retries={self.link_retries}"
+                f" timeouts={self.validation_timeouts}"
+                f" resubmits={self.validation_resubmits}"
+                f" failovers={self.failovers} failbacks={self.failbacks}"
+                f" sw_validations={self.software_validations}"
+                f" ({self.degraded_validation_share:.1%})"
+                f" irrevocable_fallbacks={self.irrevocable_fallbacks}"
+                f" phantom_commits={self.phantom_commits}"
+            )
+        return line
 
 
 def speedup(baseline: RunStats, candidate: RunStats) -> float:

@@ -43,7 +43,7 @@ from typing import Iterable, List, Optional, Sequence, Set
 SUPPRESS_MARK = "# tm-lint: ignore"
 
 #: directories whose files the determinism rule governs.
-DETERMINISM_SCOPE = {"core", "hw", "cc"}
+DETERMINISM_SCOPE = {"core", "hw", "cc", "faults"}
 #: directories whose record types must be frozen.
 FROZEN_SCOPE = {"cc", "semantics", "runtime", "sanitizer"}
 #: dataclass-name suffixes that mark a record (trace/view/event) type.

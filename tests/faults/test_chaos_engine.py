@@ -1,0 +1,203 @@
+"""ChaosValidationEngine: bit-identity, timeouts, exactly-once, resets."""
+
+import pytest
+
+from repro.faults import ChaosValidationEngine, FaultPlan, ValidationTimeout
+from repro.hw import FpgaValidationEngine, ValidationRequest
+
+
+def request(label, snapshot=0, reads=(1, 2), writes=(3,)):
+    return ValidationRequest(
+        label=label, read_addrs=tuple(reads), write_addrs=tuple(writes), snapshot=snapshot
+    )
+
+
+def stream(n, start=0):
+    """n disjoint-writer requests with advancing snapshots."""
+    return [
+        request(start + i, snapshot=start + i, reads=(100 + i,), writes=(200 + i,))
+        for i in range(n)
+    ]
+
+
+class TestNullPlanBitIdentity:
+    def test_identical_responses_and_state(self):
+        plain = FpgaValidationEngine()
+        chaos = ChaosValidationEngine(FpgaValidationEngine(), FaultPlan())
+        now = 0.0
+        for req in stream(40):
+            a = plain.submit(req, now)
+            b = chaos.submit(req, now)
+            assert a == b  # verdict AND every timestamp
+            now = a.ready_ns + 30.0
+        assert plain.manager.total_commits == chaos.manager.total_commits
+        assert chaos.fault_counts == {}
+
+    def test_delegates_unknown_attributes(self):
+        inner = FpgaValidationEngine()
+        chaos = ChaosValidationEngine(inner, FaultPlan())
+        assert chaos.manager is inner.manager
+        assert chaos.clock is inner.clock
+        assert chaos.stats_requests == inner.stats_requests
+
+
+class TestTimeouts:
+    def test_lost_request_times_out_without_validation(self):
+        plan = FaultPlan(drop_rate=1.0, retry_timeout_ns=1000.0, max_link_retries=1)
+        chaos = ChaosValidationEngine(FpgaValidationEngine(), plan, timeout_ns=50_000.0)
+        with pytest.raises(ValidationTimeout) as timeout:
+            chaos.submit(request(1), 0.0)
+        assert not timeout.value.applied  # the engine never saw it
+        assert chaos.manager.total_commits == 0
+        assert chaos.recall(1) is None
+        assert timeout.value.at_ns <= 50_000.0
+
+    def test_lost_response_times_out_applied(self):
+        plan = FaultPlan(corrupt_rate=1.0, retry_timeout_ns=1000.0, max_link_retries=1)
+        chaos = ChaosValidationEngine(FpgaValidationEngine(), plan, timeout_ns=50_000.0)
+        with pytest.raises(ValidationTimeout) as timeout:
+            chaos.submit(request(1), 0.0)
+        assert timeout.value.applied  # decided on-engine, verdict lost
+        assert chaos.manager.total_commits == 1
+        assert chaos.recall(1) is not None and chaos.recall(1).committed
+
+    def test_no_timeout_means_latency_not_exception(self):
+        plan = FaultPlan(spike_rate=1.0, spike_ns=100_000.0)
+        chaos = ChaosValidationEngine(FpgaValidationEngine(), plan, timeout_ns=None)
+        response = chaos.submit(request(1), 0.0)
+        assert response.verdict.committed
+        assert response.ready_ns > 200_000.0  # both legs spiked
+
+
+class TestExactlyOnce:
+    def test_resubmission_never_revalidates(self):
+        plan = FaultPlan(corrupt_rate=1.0, retry_timeout_ns=1000.0, max_link_retries=1)
+        chaos = ChaosValidationEngine(FpgaValidationEngine(), plan, timeout_ns=50_000.0)
+        with pytest.raises(ValidationTimeout):
+            chaos.submit(request(1), 0.0)
+        assert chaos.manager.total_commits == 1
+        # Resubmits keep failing (every response corrupts) but the
+        # manager is never touched again: exactly-once validation.
+        for attempt in range(3):
+            with pytest.raises(ValidationTimeout) as timeout:
+                chaos.submit(request(1), 60_000.0 * (attempt + 1))
+            assert timeout.value.applied
+        assert chaos.manager.total_commits == 1
+
+    def test_retransmit_serves_recorded_verdict(self):
+        plan = FaultPlan(
+            seed=0, corrupt_rate=1.0, retry_timeout_ns=500.0, max_link_retries=0
+        )
+        chaos = ChaosValidationEngine(FpgaValidationEngine(), plan, timeout_ns=50_000.0)
+        with pytest.raises(ValidationTimeout):
+            chaos.submit(request(1), 0.0)
+        verdict = chaos.recall(1)
+        assert verdict is not None
+        # Heal the link for the retransmission (a non-null plan whose
+        # faults can never fire): the response buffer survives, so the
+        # verdict is replayed rather than re-validated.
+        healed = FaultPlan(reset_at=(1e15,))
+        chaos.plan = healed
+        chaos.faulty_link.plan = healed
+        response = chaos.submit(request(1), 60_000.0)
+        assert response.verdict == verdict
+        assert chaos.manager.total_commits == 1
+
+
+class TestStall:
+    def test_arrivals_queue_behind_the_window(self):
+        plan = FaultPlan(stall_windows=((1_000.0, 50_000.0),))
+        chaos = ChaosValidationEngine(FpgaValidationEngine(), plan, timeout_ns=None)
+        response = chaos.submit(request(1), 2_000.0)
+        assert response.ready_ns > 50_000.0
+        assert chaos.fault_counts["stall"] == 1
+        # After the window, service is prompt again.
+        late = chaos.submit(request(2, snapshot=1), 60_000.0)
+        assert late.ready_ns - 60_000.0 < 5_000.0
+
+
+class TestReset:
+    def test_reset_wipes_history_and_floors_snapshots(self):
+        plan = FaultPlan(reset_at=(10_000.0,))
+        chaos = ChaosValidationEngine(FpgaValidationEngine(), plan, timeout_ns=None)
+        now = 0.0
+        for req in stream(5):
+            now = chaos.submit(req, now).ready_ns + 10.0
+        assert chaos.manager.total_commits == 5
+        # Crossing the reset instant fires the wipe exactly once.
+        response = chaos.submit(request(100, snapshot=5, writes=(999,)), 20_000.0)
+        assert chaos.manager.stats_resets == 1
+        assert chaos.fault_counts["reset"] == 1
+        assert chaos.manager.reset_floor == 5
+        assert response.verdict.committed  # snapshot 5 == floor: sound
+        # A pre-reset snapshot can no longer be validated: its forward
+        # edges were wiped, so it aborts like a window overflow.
+        stale = chaos.submit(request(101, snapshot=3, writes=(998,)), 21_000.0)
+        assert not stale.verdict.committed
+        assert stale.verdict.reason == "window-overflow"
+
+    def test_reset_clears_the_response_buffer(self):
+        plan = FaultPlan(
+            corrupt_rate=1.0,
+            retry_timeout_ns=500.0,
+            max_link_retries=0,
+            reset_at=(30_000.0,),
+        )
+        chaos = ChaosValidationEngine(FpgaValidationEngine(), plan, timeout_ns=20_000.0)
+        with pytest.raises(ValidationTimeout):
+            chaos.submit(request(1), 0.0)
+        assert chaos.recall(1) is not None
+        chaos.probe(40_000.0)  # crossing the reset instant
+        assert chaos.recall(1) is None
+
+
+class TestProbe:
+    def test_probe_reports_stall(self):
+        plan = FaultPlan(stall_windows=((1_000.0, 50_000.0),))
+        chaos = ChaosValidationEngine(FpgaValidationEngine(), plan)
+        assert not chaos.probe(2_000.0)
+        assert chaos.probe(60_000.0)
+
+    def test_probing_never_perturbs_the_data_path(self):
+        plan = FaultPlan(seed=4, drop_rate=0.3, spike_rate=0.3)
+
+        def campaign(probe_every):
+            chaos = ChaosValidationEngine(
+                FpgaValidationEngine(), plan, timeout_ns=None
+            )
+            out = []
+            now = 0.0
+            for i, req in enumerate(stream(30)):
+                if probe_every and i % probe_every == 0:
+                    chaos.probe(now)
+                try:
+                    response = chaos.submit(req, now)
+                    out.append(response.ready_ns)
+                    now = response.ready_ns + 20.0
+                except ValidationTimeout as timeout:
+                    out.append(("timeout", timeout.at_ns))
+                    now = timeout.at_ns + 20.0
+            return out
+
+        assert campaign(probe_every=0) == campaign(probe_every=1)
+
+
+class TestDeterminism:
+    def test_same_plan_same_campaign(self):
+        plan = FaultPlan(seed=11, drop_rate=0.1, spike_rate=0.2, corrupt_rate=0.1)
+
+        def campaign():
+            chaos = ChaosValidationEngine(FpgaValidationEngine(), plan, timeout_ns=40_000.0)
+            out = []
+            now = 0.0
+            for req in stream(60):
+                try:
+                    response = chaos.submit(req, now)
+                    out.append((response.verdict.committed, response.ready_ns))
+                    now = response.ready_ns + 15.0
+                except ValidationTimeout as timeout:
+                    out.append(("timeout", timeout.applied, timeout.at_ns))
+                    now = timeout.at_ns + 15.0
+            return out, dict(chaos.fault_counts), chaos.link_retries
+
+        assert campaign() == campaign()

@@ -1,0 +1,137 @@
+"""FaultyLink: per-message faults, bounded retransmission, determinism."""
+
+import random
+
+import pytest
+
+from repro.faults import FaultPlan, FaultyLink, LinkDown
+from repro.hw import harp2_cci_link
+
+
+def make_link(plan, seed=None):
+    base = harp2_cci_link()
+    rng = random.Random(plan.seed if seed is None else seed)
+    return base, FaultyLink(base, plan, rng)
+
+
+class TestNullPlan:
+    def test_pass_through(self):
+        base, faulty = make_link(FaultPlan())
+        for lines in (1, 2, 7):
+            assert faulty.request_ns(lines) == base.request_ns(lines)
+        assert faulty.response_ns(1) == base.response_ns(1)
+        assert faulty.retries == 0 and not faulty.counters
+
+    def test_consumes_no_randomness(self):
+        _, faulty = make_link(FaultPlan())
+        state = faulty.rng.getstate()
+        faulty.request_ns(4)
+        faulty.response_ns(1)
+        assert faulty.rng.getstate() == state
+
+    def test_interface_mirrors_base(self):
+        base, faulty = make_link(FaultPlan())
+        assert faulty.to_device_ns == base.to_device_ns
+        assert faulty.from_device_ns == base.from_device_ns
+        assert faulty.beat_ns == base.beat_ns
+        assert faulty.round_trip_ns == base.round_trip_ns
+        assert faulty.lines_for_addresses(17) == base.lines_for_addresses(17)
+
+
+class TestDrop:
+    def test_certain_drop_exhausts_retries(self):
+        plan = FaultPlan(drop_rate=1.0, retry_timeout_ns=1000.0, max_link_retries=2)
+        _, faulty = make_link(plan)
+        with pytest.raises(LinkDown) as down:
+            faulty.request_ns(1)
+        # attempts at backoff 1000, 2000, 4000 all lost
+        assert down.value.elapsed_ns == 1000.0 + 2000.0 + 4000.0
+        assert down.value.cause == "drop"
+        assert faulty.retries == 3
+        assert faulty.counters["drop"] == 3
+
+    def test_drop_backoff_is_exponential(self):
+        # Seeded so exactly the first crossing is lost, then delivered.
+        plan = FaultPlan(seed=0, drop_rate=0.5, retry_timeout_ns=500.0)
+        base, faulty = make_link(plan)
+        results = []
+        for _ in range(200):
+            try:
+                results.append(faulty.request_ns(1))
+            except LinkDown:
+                pass  # retry budget exhausted: the ladder's problem
+        delayed = [r for r in results if r > base.request_ns(1)]
+        assert delayed, "with drop_rate=0.5, some crossing must have retried"
+        # Every injected delay is a sum of doubling ack timeouts.
+        for r in delayed:
+            extra = r - base.request_ns(1)
+            assert extra % 500.0 == 0.0
+
+    def test_zero_retries_means_immediate_linkdown(self):
+        plan = FaultPlan(drop_rate=1.0, max_link_retries=0)
+        _, faulty = make_link(plan)
+        with pytest.raises(LinkDown):
+            faulty.response_ns(1)
+
+
+class TestCorrupt:
+    def test_corrupt_applies_only_to_responses(self):
+        plan = FaultPlan(corrupt_rate=1.0, max_link_retries=1)
+        base, faulty = make_link(plan)
+        # Request legs carry no modeled CRC: never corrupted.
+        assert faulty.request_ns(3) == base.request_ns(3)
+        with pytest.raises(LinkDown) as down:
+            faulty.response_ns(1)
+        assert down.value.cause == "corrupt"
+        assert faulty.counters["corrupt"] == 2  # initial + 1 retry
+
+    def test_corrupt_pays_the_wasted_crossing(self):
+        plan = FaultPlan(corrupt_rate=1.0, retry_timeout_ns=100.0, max_link_retries=1)
+        base, faulty = make_link(plan)
+        with pytest.raises(LinkDown) as down:
+            faulty.response_ns(1)
+        # Each corrupted arrival burns the full crossing + the backoff.
+        assert down.value.elapsed_ns == 2 * base.response_ns(1) + 100.0 + 200.0
+
+
+class TestSpike:
+    def test_certain_spike_adds_exact_delay(self):
+        plan = FaultPlan(spike_rate=1.0, spike_ns=777.0)
+        base, faulty = make_link(plan)
+        assert faulty.request_ns(2) == base.request_ns(2) + 777.0
+        assert faulty.counters["spike"] == 1
+        assert faulty.retries == 0  # spikes delay, they never retransmit
+
+
+class TestDeterminism:
+    def test_same_seed_same_faults(self):
+        plan = FaultPlan(seed=9, drop_rate=0.2, spike_rate=0.3, corrupt_rate=0.1)
+
+        def campaign():
+            _, faulty = make_link(plan)
+            out = []
+            for i in range(300):
+                try:
+                    out.append(faulty.response_ns(1) if i % 2 else faulty.request_ns(2))
+                except LinkDown as down:
+                    out.append(("down", down.elapsed_ns))
+            return out, dict(faulty.counters), faulty.retries
+
+        assert campaign() == campaign()
+
+    def test_different_seeds_diverge(self):
+        plan_a = FaultPlan(seed=1, drop_rate=0.3)
+        plan_b = FaultPlan(seed=2, drop_rate=0.3)
+        _, fa = make_link(plan_a)
+        _, fb = make_link(plan_b)
+
+        def sample(f):
+            out = []
+            for _ in range(100):
+                try:
+                    out.append(f.request_ns(1))
+                except LinkDown as down:
+                    out.append(("down", down.elapsed_ns))
+            return out
+
+        assert sample(fa) != sample(fb)

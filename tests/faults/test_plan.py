@@ -1,0 +1,84 @@
+"""FaultPlan: validation, null detection, schedules."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import BUILTIN_SCHEDULES, FaultPlan, all_plans, named_plan
+
+
+class TestFaultPlan:
+    def test_null_by_default(self):
+        assert FaultPlan().is_null
+        assert FaultPlan(seed=42).is_null  # seed alone injects nothing
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(drop_rate=0.1),
+            dict(spike_rate=0.5),
+            dict(corrupt_rate=0.01),
+            dict(stall_windows=((10.0, 20.0),)),
+            dict(reset_at=(100.0,)),
+        ],
+    )
+    def test_any_fault_breaks_null(self, kwargs):
+        assert not FaultPlan(**kwargs).is_null
+
+    @pytest.mark.parametrize("field", ["drop_rate", "spike_rate", "corrupt_rate"])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_rates_must_be_probabilities(self, field, bad):
+        with pytest.raises(ValueError):
+            FaultPlan(**{field: bad})
+
+    def test_stall_windows_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            FaultPlan(stall_windows=((20.0, 10.0),))
+        with pytest.raises(ValueError):
+            FaultPlan(stall_windows=((10.0, 10.0),))
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(max_link_retries=-1)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            FaultPlan().drop_rate = 0.5
+
+    def test_stall_end(self):
+        plan = FaultPlan(stall_windows=((100.0, 200.0), (300.0, 400.0)))
+        assert plan.stall_end(50.0) == 50.0
+        assert plan.stall_end(100.0) == 200.0  # start is inside
+        assert plan.stall_end(150.0) == 200.0
+        assert plan.stall_end(200.0) == 200.0  # end is outside
+        assert plan.stall_end(350.0) == 400.0
+
+
+class TestSchedules:
+    def test_builtin_names(self):
+        assert set(BUILTIN_SCHEDULES) == {
+            "corrupt",
+            "drop",
+            "mixed",
+            "reset",
+            "spike",
+            "stall",
+        }
+        assert list(BUILTIN_SCHEDULES) == sorted(BUILTIN_SCHEDULES)
+
+    def test_named_plan_seeded(self):
+        assert named_plan("drop", 7).seed == 7
+        assert named_plan("drop", 7) == named_plan("drop", 7)
+
+    def test_named_plan_unknown(self):
+        with pytest.raises(ValueError, match="unknown fault schedule"):
+            named_plan("meteor-strike")
+
+    def test_all_plans_covers_every_schedule(self):
+        plans = all_plans(3)
+        assert set(plans) == set(BUILTIN_SCHEDULES)
+        assert all(p.seed == 3 and not p.is_null for p in plans.values())
+
+    def test_every_schedule_is_distinct(self):
+        plans = all_plans(0)
+        assert len({tuple(sorted(dataclasses.asdict(p).items())) for p in plans.values()}) == len(plans)

@@ -3,14 +3,40 @@
 import pytest
 
 from repro.runtime import (
+    CostModel,
     Memory,
+    ParkThread,
     Read,
     RococoTMBackend,
+    RunStats,
     Simulator,
     Transaction,
+    TransactionAborted,
     Work,
     Write,
 )
+from repro.runtime.coarse_lock import RELEASE_NS
+
+
+class FakeSim:
+    """Just enough simulator for driving a backend by hand."""
+
+    def __init__(self, n_threads=4):
+        self.memory = Memory()
+        self.stats = RunStats()
+        self.n_threads = n_threads
+        self.cost_model = CostModel()
+        self.wakes = []
+
+    def wake(self, tid, at):
+        self.wakes.append((tid, at))
+
+
+def manual_backend(**kwargs):
+    backend = RococoTMBackend(**kwargs)
+    sim = FakeSim()
+    backend.attach(sim)
+    return backend, sim
 
 
 def starvation_workload(window, irrevocable_after, long_work=20_000, seed=0):
@@ -93,3 +119,96 @@ class TestFence:
         b = starvation_workload(window=4, irrevocable_after=3, seed=5)[3]
         assert a.makespan_ns == b.makespan_ns
         assert a.aborts == b.aborts
+
+
+class TestEscapeHatchMechanics:
+    """Manual driving of the irrevocable protocol, step by step."""
+
+    def test_begin_parks_under_held_lock_and_wakes_in_order(self):
+        backend, sim = manual_backend()
+        backend._force_irrevocable.add(0)
+        backend.begin(0, 0.0)  # takes the global lock
+        assert backend._irrevocable_lock.held
+
+        # Optimistic threads cannot even begin: they park as watchers.
+        with pytest.raises(ParkThread):
+            backend.begin(1, 5.0)
+        with pytest.raises(ParkThread):
+            backend.begin(2, 6.0)
+        assert backend._lock_watchers == [1, 2]
+        assert sim.wakes == []
+
+        addr = sim.memory.alloc(1)
+        backend.write(0, addr, 7, 50.0)
+        ready = backend.commit(0, 100.0)
+        # Both watchers wake at the release instant, in park order.
+        assert sim.wakes == [(1, ready), (2, ready)]
+        assert backend._lock_watchers == []
+        assert not backend._irrevocable_lock.held
+        assert sim.memory.load(addr) == 7
+
+    def test_optimistic_writer_aborts_on_the_fence(self):
+        backend, sim = manual_backend()
+        addr = sim.memory.alloc(2)
+        # Thread 1 is already mid-transaction when thread 0 goes
+        # irrevocable: at commit it hits the fence, not the FPGA.
+        backend.begin(1, 0.0)
+        backend.write(1, addr, 1, 10.0)
+        backend._force_irrevocable.add(0)
+        backend.begin(0, 20.0)
+        with pytest.raises(TransactionAborted) as aborted:
+            backend.commit(1, 30.0)
+        assert aborted.value.cause == "cpu-irrevocable-fence"
+        backend.rollback(1, 30.0, aborted.value.cause)
+        assert 1 not in backend._txns  # no stale state left behind
+
+    def test_read_only_commit_passes_the_fence(self):
+        backend, sim = manual_backend()
+        addr = sim.memory.alloc(2)
+        sim.memory.store(addr, 41)
+        backend.begin(1, 0.0)
+        value, at = backend.read(1, addr, 10.0)
+        assert value == 41
+        backend._force_irrevocable.add(0)
+        backend.begin(0, 20.0)
+        # Read-only commits never invalidate the irrevocable reader.
+        backend.commit(1, at)
+        assert 1 not in backend._txns
+
+    def test_read_only_irrevocable_commit_pays_no_writeback(self):
+        backend, sim = manual_backend()
+        addr = sim.memory.alloc(1)
+        backend._force_irrevocable.add(0)
+        backend.begin(0, 0.0)
+        backend.read(0, addr, 100.0)
+        ready = backend.commit(0, 1_000.0)
+        # No written words: only the lock release is charged.
+        assert ready == 1_000.0 + RELEASE_NS
+        assert backend.stats_irrevocable_commits == 1
+        # No write signature entered the queue, no window slot used.
+        assert backend.global_ts == 0
+        assert backend.engine.manager.total_commits == 0
+
+    def test_writing_irrevocable_commit_stays_window_aligned(self):
+        backend, sim = manual_backend()
+        addr = sim.memory.alloc(1)
+        backend._force_irrevocable.add(0)
+        backend.begin(0, 0.0)
+        backend.write(0, addr, 9, 10.0)
+        backend.commit(0, 100.0)
+        assert backend.stats_irrevocable_commits == 1
+        assert backend.global_ts == 1
+        assert backend.engine.manager.total_commits == 1
+        assert len(backend.commit_queue) == 1
+
+    def test_accounting_and_no_stale_state_after_a_run(self):
+        memory, base, backend, stats = starvation_workload(
+            window=4, irrevocable_after=3
+        )
+        # Exactly the rescued long transaction went irrevocable, and
+        # the engine-side window stayed aligned with GlobalTS.
+        assert backend.stats_irrevocable_commits == 1
+        assert backend.global_ts == backend.engine.manager.total_commits
+        assert backend._txns == {}  # every state popped on commit/rollback
+        assert backend._force_irrevocable == set()
+        assert not backend._irrevocable_lock.held
