@@ -17,9 +17,13 @@ Paper's shapes to compare against:
   small).
 """
 
+import os
+import time
+
 import pytest
 
-from repro.bench import FIG10_THREADS, print_table, run_matrix
+from repro.bench import FIG10_THREADS, matrix_from_results, matrix_specs, print_table
+from repro.exec import ResultCache, default_runner, write_bench_stamp
 from repro.stamp import ALL_WORKLOADS
 
 SCALE = 0.5
@@ -28,7 +32,30 @@ SEED = 1
 
 @pytest.fixture(scope="module")
 def matrix():
-    return run_matrix(scale=SCALE, seed=SEED)
+    """The full grid via the exec layer.
+
+    Environment knobs (all optional; defaults reproduce the old serial
+    behavior exactly — results are bit-identical either way):
+
+    * ``REPRO_BENCH_JOBS``  — shard cells across N processes (0 = one
+      per core);
+    * ``REPRO_BENCH_CACHE`` — content-addressed result-cache directory;
+    * ``REPRO_BENCH_STAMP`` — write machine-readable sweep results
+      (specs, cells, wall-clock, cache hit rate) to this path.
+    """
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    cache = ResultCache(cache_dir) if cache_dir else None
+    runner = default_runner(jobs, cache=cache)
+    specs = matrix_specs(scale=SCALE, seed=SEED)
+    started = time.perf_counter()
+    results = runner.run(specs)
+    wall_clock_s = time.perf_counter() - started
+    grid = matrix_from_results(specs, results)
+    stamp_path = os.environ.get("REPRO_BENCH_STAMP")
+    if stamp_path:
+        write_bench_stamp(stamp_path, grid, specs, wall_clock_s, runner, cache)
+    return grid
 
 
 @pytest.mark.parametrize("workload_cls", ALL_WORKLOADS, ids=lambda w: w.name)

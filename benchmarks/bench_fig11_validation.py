@@ -26,7 +26,14 @@ WORKLOADS = (
 
 
 def _rows():
-    return validation_overhead_rows(WORKLOADS, n_threads=14, scale=0.5, seed=1)
+    import os
+
+    from repro.exec import default_runner
+
+    runner = default_runner(int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+    return validation_overhead_rows(
+        WORKLOADS, n_threads=14, scale=0.5, seed=1, runner=runner
+    )
 
 
 def test_fig11_validation_overhead(benchmark):

@@ -30,6 +30,8 @@ from .stamp_matrix import (
     FIG10_THREADS,
     Cell,
     StampMatrix,
+    matrix_from_results,
+    matrix_specs,
     run_matrix,
     validation_overhead_rows,
 )
@@ -47,6 +49,8 @@ __all__ = [
     "degradation_row",
     "figure9_sweep",
     "format_table",
+    "matrix_from_results",
+    "matrix_specs",
     "print_table",
     "reduction_vs",
     "run_matrix",

@@ -1,18 +1,29 @@
-"""The Fig. 10 / Fig. 11 harness: the STAMP x backend x threads grid."""
+"""The Fig. 10 / Fig. 11 harness: the STAMP x backend x threads grid.
+
+Since the exec-layer refactor the harness no longer runs anything
+itself: it *names* the grid as :class:`~repro.exec.ExperimentSpec`
+values and hands the batch to a :class:`~repro.exec.Runner` — serial
+by default, process-pool when the caller wants the cores, cache-aware
+when given a :class:`~repro.exec.ResultCache`.  Cell values are
+identical whichever runner executes them (each spec is a
+self-contained deterministic simulation; see docs/EXECUTION.md).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
+from ..exec import ExperimentSpec, Runner, SerialRunner
+from ..exec.cache import ResultCache
 from ..runtime import (
     RococoTMBackend,
-    SequentialBackend,
+    RunStats,
     TinySTMBackend,
     TsxBackend,
     geomean,
 )
-from ..stamp import ALL_WORKLOADS, StampWorkload, run_stamp
+from ..stamp import ALL_WORKLOADS, StampWorkload
 
 FIG10_THREADS = (1, 4, 8, 14, 28)
 FIG10_BACKENDS: Tuple[Callable[[], object], ...] = (
@@ -41,15 +52,28 @@ class Cell:
 class StampMatrix:
     cells: List[Cell] = field(default_factory=list)
 
+    def __post_init__(self):
+        self._reindex()
+
+    def _reindex(self) -> None:
+        self._index: Dict[Tuple[str, str, int], Cell] = {
+            (c.workload, c.backend, c.n_threads): c for c in self.cells
+        }
+
+    def add(self, cell: Cell) -> None:
+        self.cells.append(cell)
+        self._index[(cell.workload, cell.backend, cell.n_threads)] = cell
+
     def get(self, workload: str, backend: str, n_threads: int) -> Cell:
-        for cell in self.cells:
-            if (cell.workload, cell.backend, cell.n_threads) == (
-                workload,
-                backend,
-                n_threads,
-            ):
-                return cell
-        raise KeyError((workload, backend, n_threads))
+        # ``geomean_ratio`` calls this in a double loop; the dict index
+        # replaces the old O(cells) scan.  Rebuild lazily if cells were
+        # appended behind our back (direct list mutation).
+        if len(self._index) != len(self.cells):
+            self._reindex()
+        try:
+            return self._index[(workload, backend, n_threads)]
+        except KeyError:
+            raise KeyError((workload, backend, n_threads)) from None
 
     def workloads(self) -> List[str]:
         return sorted({c.workload for c in self.cells})
@@ -70,6 +94,73 @@ class StampMatrix:
         )
 
 
+def _backend_spec_name(factory: Callable[[], object]) -> str:
+    """Resolve a backend factory to its exec-registry key."""
+    name = getattr(factory, "name", None)
+    if isinstance(name, str):
+        return name
+    return factory().name  # instantiate once to ask (non-class factory)
+
+
+def _cell_from(stats: RunStats, baseline: RunStats, n_threads: int) -> Cell:
+    return Cell(
+        workload=stats.workload,
+        backend=stats.backend,
+        n_threads=n_threads,
+        speedup=baseline.makespan_ns / stats.makespan_ns,
+        abort_rate=stats.abort_rate,
+        fpga_abort_rate=stats.fpga_abort_rate,
+        mean_validation_us=stats.mean_validation_us,
+        commits=stats.commits,
+        aborts=stats.aborts,
+    )
+
+
+def matrix_specs(
+    workloads: Sequence[Type[StampWorkload]] = ALL_WORKLOADS,
+    backends: Sequence[Callable[[], object]] = FIG10_BACKENDS,
+    threads: Sequence[int] = FIG10_THREADS,
+    scale: float = 0.5,
+    seed: int = 1,
+    verify: bool = True,
+) -> List[ExperimentSpec]:
+    """The grid as specs: per workload, one sequential baseline cell
+    followed by every (backend, threads) cell, in deterministic order."""
+    specs: List[ExperimentSpec] = []
+    backend_names = [_backend_spec_name(factory) for factory in backends]
+    for workload_cls in workloads:
+        specs.append(
+            ExperimentSpec(
+                workload_cls.name, "sequential", 1,
+                scale=scale, seed=seed, verify=verify,
+            )
+        )
+        for backend in backend_names:
+            for n_threads in threads:
+                specs.append(
+                    ExperimentSpec(
+                        workload_cls.name, backend, n_threads,
+                        scale=scale, seed=seed, verify=verify,
+                    )
+                )
+    return specs
+
+
+def matrix_from_results(
+    specs: Sequence[ExperimentSpec], results: Sequence[RunStats]
+) -> StampMatrix:
+    """Assemble cells, pairing each cell with its workload's
+    sequential baseline (specs as produced by :func:`matrix_specs`)."""
+    matrix = StampMatrix()
+    baselines: Dict[str, RunStats] = {}
+    for spec, stats in zip(specs, results):
+        if spec.backend == "sequential":
+            baselines[spec.workload] = stats
+            continue
+        matrix.add(_cell_from(stats, baselines[spec.workload], spec.n_threads))
+    return matrix
+
+
 def run_matrix(
     workloads: Sequence[Type[StampWorkload]] = ALL_WORKLOADS,
     backends: Sequence[Callable[[], object]] = FIG10_BACKENDS,
@@ -78,41 +169,24 @@ def run_matrix(
     seed: int = 1,
     verify: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    runner: Optional[Runner] = None,
+    cache: Optional[ResultCache] = None,
 ) -> StampMatrix:
-    """Run the full grid; speedups are vs the sequential baseline."""
-    matrix = StampMatrix()
-    for workload_cls in workloads:
-        sequential = run_stamp(
-            workload_cls, SequentialBackend(), 1, scale=scale, seed=seed, verify=verify
-        )
-        for backend_factory in backends:
-            for n_threads in threads:
-                stats = run_stamp(
-                    workload_cls,
-                    backend_factory(),
-                    n_threads,
-                    scale=scale,
-                    seed=seed,
-                    verify=verify,
-                )
-                cell = Cell(
-                    workload=stats.workload,
-                    backend=stats.backend,
-                    n_threads=n_threads,
-                    speedup=sequential.makespan_ns / stats.makespan_ns,
-                    abort_rate=stats.abort_rate,
-                    fpga_abort_rate=stats.fpga_abort_rate,
-                    mean_validation_us=stats.mean_validation_us,
-                    commits=stats.commits,
-                    aborts=stats.aborts,
-                )
-                matrix.cells.append(cell)
-                if progress is not None:
-                    progress(
-                        f"{cell.workload}/{cell.backend}@{n_threads}t "
-                        f"speedup={cell.speedup:.2f} abort={cell.abort_rate:.0%}"
-                    )
-    return matrix
+    """Run the full grid; speedups are vs the sequential baseline.
+
+    ``runner`` defaults to :class:`~repro.exec.SerialRunner`; pass a
+    :class:`~repro.exec.ProcessPoolRunner` to shard cells across host
+    cores (results are bit-identical).  ``cache`` is only consulted
+    when the caller did not bring a runner of their own.
+    """
+    if runner is None:
+        runner = SerialRunner(cache=cache)
+    specs = matrix_specs(
+        workloads=workloads, backends=backends, threads=threads,
+        scale=scale, seed=seed, verify=verify,
+    )
+    results = runner.run(specs, progress=progress)
+    return matrix_from_results(specs, results)
 
 
 def validation_overhead_rows(
@@ -120,15 +194,21 @@ def validation_overhead_rows(
     n_threads: int = 14,
     scale: float = 0.5,
     seed: int = 1,
+    runner: Optional[Runner] = None,
 ) -> List[Dict]:
     """Fig. 11: amortized per-transaction validation time (us)."""
-    rows = []
-    for workload_cls in workloads:
+    if runner is None:
+        runner = SerialRunner()
+    specs = [
+        ExperimentSpec(workload_cls.name, backend, n_threads, scale=scale, seed=seed)
+        for workload_cls in workloads
+        for backend in ("TinySTM", "ROCoCoTM")
+    ]
+    results = runner.run(specs)
+    rows: List[Dict] = []
+    for workload_cls, pair in zip(workloads, zip(results[::2], results[1::2])):
         row = {"workload": workload_cls.name}
-        for backend_factory in (TinySTMBackend, RococoTMBackend):
-            stats = run_stamp(
-                workload_cls, backend_factory(), n_threads, scale=scale, seed=seed
-            )
+        for stats in pair:
             row[stats.backend] = stats.mean_validation_us
         rows.append(row)
     return rows

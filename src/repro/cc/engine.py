@@ -162,11 +162,21 @@ class TraceCC:
         return False
 
     # -- driver ---------------------------------------------------------
-    def run(self, trace: Trace, observer: Optional[Callable[[TxnView, bool], None]] = None) -> TraceResult:
+    def run(
+        self,
+        trace: Trace,
+        observer: Optional[Callable[[TxnView, bool], None]] = None,
+        bus=None,
+    ) -> TraceResult:
         """Replay *trace*; ``observer(view, committed)`` — if given —
-        sees every materialized transaction and its fate, which is how
-        the sanitizer (:mod:`repro.sanitizer.tracecheck`) rebuilds the
-        multi-version history an algorithm actually committed."""
+        sees every materialized transaction and its fate.  ``bus`` — an
+        :class:`repro.runtime.events.EventBus` — additionally publishes
+        each transaction as begin/read/write/commit-or-abort events
+        carrying explicit ``attempt`` (the trace txn id) and read
+        ``version``, which is how the sanitizer
+        (:mod:`repro.sanitizer.tracecheck`) rebuilds the multi-version
+        history an algorithm actually committed on the same
+        instrumentation path the simulator uses."""
         store = VersionStore()
         committed: List[CommittedTxn] = []
         decisions: List[bool] = []
@@ -181,7 +191,32 @@ class TraceCC:
                 self.on_commit(view)
             if observer is not None:
                 observer(view, ok)
+            if bus is not None:
+                self._publish(bus, view, ok)
         return TraceResult(self.name, self.concurrency, decisions)
+
+    @staticmethod
+    def _publish(bus, view: TxnView, ok: bool) -> None:
+        """One transaction's fate as events (tid -1: no sim thread)."""
+        from ..runtime.events import SimEvent
+
+        bus.emit(SimEvent("begin", -1, view.start, attempt=view.txn))
+        for read in view.reads:
+            bus.emit(
+                SimEvent(
+                    "read",
+                    -1,
+                    read.time,
+                    addr=read.addr,
+                    version=read.version,
+                )
+            )
+        for write in view.writes:
+            bus.emit(SimEvent("write", -1, write.time, addr=write.addr))
+        if ok:
+            bus.emit(SimEvent("commit", -1, view.commit_time))
+        else:
+            bus.emit(SimEvent("abort", -1, view.commit_time, cause="validation"))
 
     def _materialize(self, txn_trace: TxnTrace, store: VersionStore) -> TxnView:
         start = float(txn_trace.txn)

@@ -31,9 +31,9 @@ class KahnCC(TraceCC):
         super().__init__(concurrency, read_placement)
         self._order: List[int] = []  # the Kahn output (commit order)
 
-    def run(self, trace, observer=None):  # type: ignore[override]
+    def run(self, trace, observer=None, bus=None):  # type: ignore[override]
         self._order = []
-        return super().run(trace, observer=observer)
+        return super().run(trace, observer=observer, bus=bus)
 
     def validate(self, view: TxnView, committed: Sequence[CommittedTxn]) -> bool:
         # Appendable iff no outgoing edge into the emitted prefix: an

@@ -49,9 +49,9 @@ class RococoCC(TraceCC):
         self._index: Dict[int, int] = {}
         self._pending: Dict[int, ValidationResult] = {}
 
-    def run(self, trace, observer=None):  # type: ignore[override]
+    def run(self, trace, observer=None, bus=None):  # type: ignore[override]
         self._reset()
-        return super().run(trace, observer=observer)
+        return super().run(trace, observer=observer, bus=bus)
 
     # ------------------------------------------------------------------
     def validate(self, view: TxnView, committed: Sequence[CommittedTxn]) -> bool:

@@ -6,6 +6,7 @@ Examples::
     python -m repro fig7
     python -m repro fig9 --threads 16 --seeds 10
     python -m repro fig10 --scale 0.35 --workloads kmeans vacation
+    python -m repro fig10 --jobs 0 --cache .bench-cache --stamp-json BENCH_stamp.json
     python -m repro fig11
     python -m repro resources --window 128 --bits 1024
     python -m repro stamp vacation ROCoCoTM --threads 14
@@ -28,32 +29,27 @@ from .bench import (
     FIG10_THREADS,
     degradation_row,
     figure9_sweep,
+    matrix_from_results,
+    matrix_specs,
     print_table,
-    run_matrix,
     validation_overhead_rows,
 )
-from .faults import BUILTIN_SCHEDULES
-from .runtime import (
-    CoarseLockBackend,
-    RococoTMBackend,
-    SequentialBackend,
-    SnapshotIsolationBackend,
-    TinySTMBackend,
-    TinySTMEtlBackend,
-    TsxBackend,
+from .exec import (
+    BACKEND_REGISTRY,
+    WORKLOAD_REGISTRY,
+    ExperimentSpec,
+    ResultCache,
+    SerialRunner,
+    default_runner,
+    write_bench_stamp,
 )
-from .stamp import ALL_WORKLOADS, CONTENTION_VARIANTS, EXTRA_WORKLOADS, run_stamp
+from .faults import BUILTIN_SCHEDULES
+from .stamp import ALL_WORKLOADS, CONTENTION_VARIANTS, EXTRA_WORKLOADS
 
-BACKENDS = {
-    "sequential": SequentialBackend,
-    "global-lock": CoarseLockBackend,
-    "TinySTM": TinySTMBackend,
-    "TinySTM-ETL": TinySTMEtlBackend,
-    "TSX": TsxBackend,
-    "ROCoCoTM": RococoTMBackend,
-    "SI-MVCC": SnapshotIsolationBackend,
-}
-WORKLOADS = {w.name: w for w in ALL_WORKLOADS + CONTENTION_VARIANTS + EXTRA_WORKLOADS}
+#: the CLI's vocabularies are the exec layer's registries — one source
+#: of truth for what a workload/backend name means everywhere.
+BACKENDS = BACKEND_REGISTRY
+WORKLOADS = WORKLOAD_REGISTRY
 
 
 def _make_backend(name: str, faults: Optional[str] = None, fault_seed: int = 0):
@@ -135,14 +131,33 @@ def _cmd_fig9(args) -> int:
 
 
 def _cmd_fig10(args) -> int:
+    import time
+
     workloads = [WORKLOADS[name] for name in args.workloads] if args.workloads else ALL_WORKLOADS
-    matrix = run_matrix(
-        workloads=workloads,
-        threads=tuple(args.threads),
-        scale=args.scale,
-        seed=args.seed,
+    cache = ResultCache(args.cache) if args.cache else None
+    runner = default_runner(args.jobs, cache=cache)
+    specs = matrix_specs(
+        workloads=workloads, threads=tuple(args.threads),
+        scale=args.scale, seed=args.seed,
+    )
+    started = time.perf_counter()
+    results = runner.run(
+        specs,
         progress=(lambda msg: print("  " + msg, file=sys.stderr)) if args.verbose else None,
     )
+    wall_clock_s = time.perf_counter() - started
+    matrix = matrix_from_results(specs, results)
+    if args.stamp_json:
+        write_bench_stamp(
+            args.stamp_json, matrix, specs, wall_clock_s, runner, cache
+        )
+        print(f"wrote {args.stamp_json}", file=sys.stderr)
+    if cache is not None:
+        print(
+            f"cache: {cache.hits}/{cache.lookups} hits "
+            f"({cache.hit_rate:.0%}) in {cache.root}",
+            file=sys.stderr,
+        )
     for name in matrix.workloads():
         rows = [
             [
@@ -205,12 +220,22 @@ def _cmd_resources(args) -> int:
 
 
 def _cmd_stamp(args) -> int:
-    workload_cls = WORKLOADS[args.workload]
-    backend = _make_backend(args.backend, args.faults, args.fault_seed)
-    n_threads = 1 if args.backend == "sequential" else args.threads
-    stats = run_stamp(
-        workload_cls, backend, n_threads, scale=args.scale, seed=args.seed
+    if args.faults and args.backend != "ROCoCoTM":
+        raise SystemExit(
+            "--faults injects into the FPGA validation path and "
+            "requires the ROCoCoTM backend"
+        )
+    spec = ExperimentSpec(
+        args.workload,
+        args.backend,
+        1 if args.backend == "sequential" else args.threads,
+        scale=args.scale,
+        seed=args.seed,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
     )
+    cache = ResultCache(args.cache) if args.cache else None
+    [stats] = SerialRunner(cache=cache).run([spec])
     print(stats.summary())
     if stats.validations:
         print(f"mean validation: {stats.mean_validation_us:.3f} us/txn")
@@ -219,7 +244,7 @@ def _cmd_stamp(args) -> int:
 
 def _cmd_chaos(args) -> int:
     """Run the fault matrix on one workload; optionally sanitized."""
-    from .faults import BUILTIN_SCHEDULES, build_chaos_backend, chaos_sanitize
+    from .faults import BUILTIN_SCHEDULES, chaos_sanitize
 
     workload_cls = WORKLOADS[args.workload]
     schedules = (
@@ -227,8 +252,8 @@ def _cmd_chaos(args) -> int:
     )
     rows = []
     violations = 0
-    for sched in schedules:
-        if args.sanitize:
+    if args.sanitize:
+        for sched in schedules:
             [(_, report, backend)] = chaos_sanitize(
                 workload_cls,
                 [sched],
@@ -237,24 +262,33 @@ def _cmd_chaos(args) -> int:
                 seed=args.seed,
                 fault_seed=args.fault_seed,
             )
-            ok = report.ok
-            if not ok:
+            if not report.ok:
                 violations += 1
                 print(f"--- {sched}: SANITIZER VIOLATIONS ---", file=sys.stderr)
                 print(report.summary(), file=sys.stderr)
-        else:
-            backend = build_chaos_backend(
-                sched, args.fault_seed, irrevocable_after=args.irrevocable_after
+            rows.append(
+                [sched]
+                + degradation_row(backend.stats)
+                + ["ok" if report.ok else "FAIL"]
             )
-            run_stamp(
-                workload_cls, backend, args.threads, scale=args.scale, seed=args.seed
+    else:
+        specs = [
+            ExperimentSpec(
+                args.workload,
+                "ROCoCoTM",
+                args.threads,
+                scale=args.scale,
+                seed=args.seed,
+                faults=sched,
+                fault_seed=args.fault_seed,
+                irrevocable_after=args.irrevocable_after,
             )
-            ok = True
-        rows.append(
-            [sched]
-            + degradation_row(backend.stats)
-            + [("ok" if ok else "FAIL") if args.sanitize else "-"]
-        )
+            for sched in schedules
+        ]
+        cache = ResultCache(args.cache) if args.cache else None
+        results = default_runner(args.jobs, cache=cache).run(specs)
+        for sched, stats in zip(schedules, results):
+            rows.append([sched] + degradation_row(stats) + ["-"])
     print_table(
         ["schedule"] + DEGRADATION_HEADERS + ["oracles"],
         rows,
@@ -346,6 +380,24 @@ def build_parser() -> argparse.ArgumentParser:
     p10.add_argument("--threads", type=int, nargs="+", default=list(FIG10_THREADS))
     p10.add_argument("--workloads", nargs="+", choices=sorted(WORKLOADS))
     p10.add_argument("--verbose", action="store_true")
+    p10.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="shard cells across N processes (0 = one per core); "
+        "results are bit-identical to serial",
+    )
+    p10.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="content-addressed result cache: re-runs only execute changed cells",
+    )
+    p10.add_argument(
+        "--stamp-json",
+        metavar="PATH",
+        help="write machine-readable sweep results (specs, cells, "
+        "wall-clock, cache hit rate)",
+    )
     p10.set_defaults(func=_cmd_fig10)
 
     p11 = sub.add_parser("fig11", help="per-transaction validation overhead")
@@ -372,6 +424,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject this fault schedule into the validation path (ROCoCoTM only)",
     )
     ps.add_argument("--fault-seed", type=int, default=0)
+    ps.add_argument(
+        "--cache", metavar="DIR", help="content-addressed result cache"
+    )
     ps.set_defaults(func=_cmd_stamp)
 
     pc = sub.add_parser(
@@ -399,6 +454,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="enable the irrevocable escape hatch after N consecutive aborts",
+    )
+    pc.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="shard schedules across N processes (non-sanitized runs only)",
+    )
+    pc.add_argument(
+        "--cache", metavar="DIR", help="content-addressed result cache"
     )
     pc.set_defaults(func=_cmd_chaos)
 

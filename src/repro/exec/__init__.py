@@ -1,0 +1,45 @@
+"""The experiment-execution layer: spec → runner → cache → record.
+
+Every figure and benchmark in this repo is, at bottom, a sweep over a
+grid of deterministic simulations.  This package gives that sweep a
+first-class shape:
+
+* :class:`ExperimentSpec` — a frozen, hashable value naming one run
+  (workload, backend, threads, scale, seed, faults, cost model);
+* :class:`SerialRunner` / :class:`ProcessPoolRunner` — execute a batch
+  of specs, bit-identically, serially or sharded across host cores;
+* :class:`ResultCache` — content-addressed JSON results keyed by spec
+  hash + code fingerprint, so re-running a figure only executes
+  changed cells;
+* :func:`write_bench_stamp` — the machine-readable ``BENCH_stamp.json``
+  record (specs, cells, wall-clock, cache hit rate).
+
+See docs/EXECUTION.md for the architecture and the determinism
+argument.
+"""
+
+from .cache import ResultCache, code_fingerprint
+from .runner import (
+    ProcessPoolRunner,
+    Runner,
+    SerialRunner,
+    default_runner,
+    run_payload,
+)
+from .spec import BACKEND_REGISTRY, WORKLOAD_REGISTRY, ExperimentSpec
+from .stampfile import bench_stamp_payload, write_bench_stamp
+
+__all__ = [
+    "BACKEND_REGISTRY",
+    "ExperimentSpec",
+    "ProcessPoolRunner",
+    "ResultCache",
+    "Runner",
+    "SerialRunner",
+    "WORKLOAD_REGISTRY",
+    "bench_stamp_payload",
+    "code_fingerprint",
+    "default_runner",
+    "run_payload",
+    "write_bench_stamp",
+]

@@ -1,0 +1,110 @@
+"""Content-addressed result cache for experiment cells.
+
+A cached entry is one JSON file named by
+``sha256(spec.content_hash() + code_fingerprint())``: re-running a
+figure only executes cells whose spec *or* whose simulator code
+changed.  The code fingerprint hashes every ``repro`` source file, so
+any edit anywhere in the package — a backend tweak, a cost-model
+constant — invalidates the whole cache rather than risking stale
+results.  That is deliberately coarse: correctness of cached numbers
+beats cleverness about which module could have mattered.
+
+Entries store the canonical spec alongside the stats, so a cache
+directory is also a self-describing record of what was measured.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from ..runtime import RunStats
+from .spec import ExperimentSpec
+
+#: cache format version; bump to orphan all previous entries.
+CACHE_VERSION = 1
+
+_fingerprint_memo: Optional[str] = None
+
+
+def code_fingerprint(refresh: bool = False) -> str:
+    """sha256 over every ``repro`` source file (path + contents).
+
+    Memoized per process: the tree cannot change under a running
+    sweep, and hashing ~60 files per cell lookup would swamp small
+    cells.
+    """
+    global _fingerprint_memo
+    if _fingerprint_memo is not None and not refresh:
+        return _fingerprint_memo
+    package_root = Path(__file__).resolve().parents[1]  # src/repro
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    _fingerprint_memo = digest.hexdigest()
+    return _fingerprint_memo
+
+
+class ResultCache:
+    """JSON-file cache keyed by spec hash + code fingerprint."""
+
+    def __init__(self, root: str, fingerprint: Optional[str] = None):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def key(self, spec: ExperimentSpec) -> str:
+        blob = f"v{CACHE_VERSION}:{spec.content_hash()}:{self.fingerprint}"
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _path(self, spec: ExperimentSpec) -> Path:
+        return self.root / f"{self.key(spec)}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, spec: ExperimentSpec) -> Optional[RunStats]:
+        """The cached stats for *spec*, or None (counts hit/miss)."""
+        path = self._path(spec)
+        try:
+            with open(path) as source:
+                entry = json.load(source)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return RunStats.from_dict(entry["stats"])
+
+    def put(self, spec: ExperimentSpec, stats: RunStats) -> None:
+        """Store atomically (write-rename), so a killed sweep never
+        leaves a torn entry for the next run to trust."""
+        path = self._path(spec)
+        entry = {
+            "version": CACHE_VERSION,
+            "spec": spec.canonical(),
+            "fingerprint": self.fingerprint,
+            "stats": stats.to_dict(),
+        }
+        tmp = path.with_suffix(".tmp-%d" % os.getpid())
+        with open(tmp, "w") as sink:
+            json.dump(entry, sink, sort_keys=True, indent=1)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))

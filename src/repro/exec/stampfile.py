@@ -1,0 +1,73 @@
+"""Machine-readable sweep results: ``BENCH_stamp.json``.
+
+One file per harness invocation, recording what was run (the canonical
+specs), what came out (the matrix cells), how long it took
+(wall-clock), and how much the :class:`~repro.exec.cache.ResultCache`
+saved (hit rate) — the perf trajectory of the repo, trackable across
+commits and uploadable as a CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict
+from typing import Optional, Sequence
+
+from .cache import ResultCache, code_fingerprint
+from .runner import Runner
+from .spec import ExperimentSpec
+
+STAMP_VERSION = 1
+
+
+def bench_stamp_payload(
+    matrix,
+    specs: Sequence[ExperimentSpec],
+    wall_clock_s: float,
+    runner: Optional[Runner] = None,
+    cache: Optional[ResultCache] = None,
+) -> dict:
+    """The JSON-ready record of one sweep."""
+    payload = {
+        "version": STAMP_VERSION,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "code_fingerprint": code_fingerprint(),
+        "runner": runner.name if runner is not None else "serial",
+        "wall_clock_s": round(wall_clock_s, 6),
+        "n_specs": len(specs),
+        "specs": [spec.canonical() for spec in specs],
+        "cells": [asdict(cell) for cell in matrix.cells],
+    }
+    if isinstance(runner, Runner) and getattr(runner, "fallback_reason", None):
+        payload["runner_fallback"] = runner.fallback_reason
+    if cache is not None:
+        payload["cache"] = {
+            "root": str(cache.root),
+            "lookups": cache.lookups,
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "hit_rate": round(cache.hit_rate, 6),
+        }
+    return payload
+
+
+def write_bench_stamp(
+    path: str,
+    matrix,
+    specs: Sequence[ExperimentSpec],
+    wall_clock_s: float,
+    runner: Optional[Runner] = None,
+    cache: Optional[ResultCache] = None,
+) -> dict:
+    """Write the sweep record to *path*; returns the payload."""
+    payload = bench_stamp_payload(matrix, specs, wall_clock_s, runner, cache)
+    with open(path, "w") as sink:
+        json.dump(payload, sink, indent=1, sort_keys=True)
+        sink.write("\n")
+    return payload

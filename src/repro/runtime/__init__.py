@@ -24,8 +24,9 @@ from .api import (
 )
 from .backend import CostModel, ParkThread, TMBackend
 from .coarse_lock import CoarseLockBackend, GlobalLock
+from .events import EVENT_KINDS, EventBus, SimEvent, StatsCollector
 from .memory import CELLS_PER_CACHELINE, Memory
-from .recording import RecordingBackend
+from .recording import HistoryRecorder, RecordingBackend
 from .rococotm import RococoTMBackend
 from .sequential import SequentialBackend
 from .si_mvcc import SnapshotIsolationBackend
@@ -41,7 +42,10 @@ __all__ = [
     "CELLS_PER_CACHELINE",
     "CoarseLockBackend",
     "CostModel",
+    "EVENT_KINDS",
+    "EventBus",
     "GlobalLock",
+    "HistoryRecorder",
     "Memory",
     "ParkThread",
     "Read",
@@ -50,8 +54,10 @@ __all__ = [
     "RunStats",
     "SequentialBackend",
     "SimBarrier",
+    "SimEvent",
     "SnapshotIsolationBackend",
     "Simulator",
+    "StatsCollector",
     "TMBackend",
     "TinySTMBackend",
     "TinySTMEtlBackend",

@@ -1,0 +1,159 @@
+"""The unified simulator event bus.
+
+Before this layer existed the repo had three disjoint observation
+paths into a run: the :class:`Simulator` mutated ``RunStats`` inline,
+the recording/sanitizer wrappers intercepted the five backend hooks,
+and value caches subscribed to raw :meth:`Memory.store` callbacks.
+Every new consumer (the sanitizer, the fault layer) had to wire up all
+three.  Now the simulator publishes **every state transition** —
+``step``, ``begin``, ``read``, ``write``, ``commit``, ``abort``,
+``park``/``wake``, ``backoff`` — as one :class:`SimEvent` stream on a
+per-run :class:`EventBus`, and statistics, history recording and the
+sanitizer's event log are all ordinary subscribers.
+
+Design constraints:
+
+* **Zero-cost when unobserved.**  The hot path guards every emission
+  with :meth:`EventBus.wants`; constructing a :class:`SimEvent` for a
+  read nobody listens to would slow every benchmark.  Only ``commit``
+  and ``abort`` always have a listener (the stats collector).
+* **Deterministic delivery.**  Subscribers run synchronously, in
+  subscription order, at the simulated instant the transition
+  happened.  The simulator is single-threaded discrete-event, so the
+  stream is totally ordered and bit-reproducible — which is what lets
+  recorded executions be compared across processes (see
+  :mod:`repro.exec`).
+* **Attribution, not interpretation.**  Events carry thread ids, not
+  attempt ids: minting globally-unique attempt ids is the history
+  recorder's job (:mod:`repro.runtime.recording`), exactly as before
+  the refactor, so attempt vocabularies stay stable.  Trace-level
+  replays (:meth:`repro.cc.engine.TraceCC.run`) emit events that *do*
+  carry ``attempt`` and read ``version`` directly, because the trace
+  already knows them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+#: every kind the simulator can emit (trace replays reuse a subset).
+EVENT_KINDS = (
+    "step",
+    "begin",
+    "read",
+    "write",
+    "commit",
+    "abort",
+    "park",
+    "wake",
+    "backoff",
+)
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One state transition at one simulated instant."""
+
+    kind: str
+    #: simulated thread id (-1 for non-thread actors, e.g. trace
+    #: replays and direct-store pseudo-transactions).
+    tid: int
+    #: simulated time (ns) at which the transition completed.
+    time: float
+    #: memory address (read/write events).
+    addr: Optional[int] = None
+    #: value read or written.
+    value: object = None
+    #: abort cause string (abort events).
+    cause: Optional[str] = None
+    #: transaction label (begin events), if the workload provided one.
+    label: Optional[str] = None
+    #: 1-based retry number of this attempt (begin events).
+    attempt_index: int = 0
+    #: ns of in-transaction work discarded by this abort.
+    wasted: float = 0.0
+    #: False for aborts raised by ``backend.begin`` — no attempt ever
+    #: opened, so recorders must not try to close one.
+    began: bool = True
+    #: ns of driver backoff charged (backoff events).
+    ns: float = 0.0
+    #: explicit attempt id — only set by trace-level emitters; the
+    #: simulator leaves it None and recorders mint their own.
+    attempt: Optional[int] = None
+    #: explicit read version — only set by trace-level emitters.
+    version: Optional[int] = None
+
+
+class EventBus:
+    """Synchronous, ordered fan-out of :class:`SimEvent`.
+
+    ``in_backend`` is the bus's one piece of mutable state besides the
+    subscriber lists: the simulator raises it around every backend
+    hook invocation so that :meth:`Memory.subscribe` observers can
+    tell a backend write-back from direct (workload phase) stores —
+    the discrimination the sanitizer previously re-implemented with a
+    private flag inside its wrapper.
+    """
+
+    def __init__(self) -> None:
+        self._all: List[Callable[[SimEvent], None]] = []
+        self._by_kind: Dict[str, List[Callable[[SimEvent], None]]] = {}
+        #: True while the simulator is inside a backend hook.
+        self.in_backend = False
+
+    def subscribe(
+        self,
+        fn: Callable[[SimEvent], None],
+        kinds: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Register *fn* for *kinds* (or every kind if None).
+
+        Delivery order is subscription order; subscribing the same
+        function twice delivers it twice (wrap if you need idempotence).
+        """
+        if kinds is None:
+            self._all.append(fn)
+            return
+        for kind in kinds:
+            if kind not in EVENT_KINDS:
+                raise ValueError(f"unknown event kind {kind!r}")
+            self._by_kind.setdefault(kind, []).append(fn)
+
+    def wants(self, kind: str) -> bool:
+        """True if emitting *kind* would reach at least one subscriber
+        — the hot path's guard against building dead events."""
+        return bool(self._all) or kind in self._by_kind
+
+    def emit(self, event: SimEvent) -> None:
+        for fn in self._all:
+            fn(event)
+        for fn in self._by_kind.get(event.kind, ()):
+            fn(event)
+
+
+class StatsCollector:
+    """RunStats accumulation as a bus subscriber.
+
+    The simulator used to bump ``stats.commits`` / ``record_abort`` /
+    ``wasted_ns`` inline at three separate sites; this collector is
+    now the only place driver-level outcomes turn into statistics.
+    (Backends still accrue their own measurement counters —
+    ``validation_ns``, degradation tallies — directly: those are
+    internal measurements, not driver state transitions.)
+    """
+
+    KINDS = ("commit", "abort")
+
+    def __init__(self, stats) -> None:
+        self.stats = stats
+
+    def install(self, bus: EventBus) -> None:
+        bus.subscribe(self._on_event, kinds=self.KINDS)
+
+    def _on_event(self, event: SimEvent) -> None:
+        if event.kind == "commit":
+            self.stats.commits += 1
+        else:  # abort
+            self.stats.record_abort(event.cause)
+            self.stats.wasted_ns += event.wasted

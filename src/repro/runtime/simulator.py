@@ -13,6 +13,12 @@ Thread programs yield :class:`Transaction` and :class:`Work`;
 transaction bodies yield :class:`Read`/:class:`Write`/:class:`Work`/
 :class:`Alloc` (see :mod:`repro.runtime.api`).  The driver implements
 the retry loop: abort -> rollback -> exponential backoff -> fresh body.
+
+Every state transition the driver makes — step, begin, read, write,
+commit, abort, park/wake, backoff — is published on ``self.bus``
+(:class:`repro.runtime.events.EventBus`).  Statistics accumulation,
+history recording and the sanitizer's event log are all bus
+subscribers; nothing else observes the driver.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from .api import (
     Write,
 )
 from .backend import CostModel, ParkThread, TMBackend
+from .events import EventBus, SimEvent, StatsCollector
 from .memory import Memory
 from .stats import RunStats
 
@@ -89,8 +96,24 @@ class Simulator:
         self.stats = RunStats(
             backend=backend.name, workload=workload_name, n_threads=n_threads
         )
+        #: the unified observation path: every driver transition is
+        #: published here.  Must exist before ``backend.attach`` so
+        #: recording wrappers can subscribe.
+        self.bus = EventBus()
+        StatsCollector(self.stats).install(self.bus)
         self._threads: List[_Thread] = []
         backend.attach(self)
+
+    # ------------------------------------------------------------------
+    def _hook(self, fn, *args):
+        """Invoke a backend hook with ``bus.in_backend`` raised, so
+        Memory observers can tell write-backs from direct stores."""
+        bus = self.bus
+        bus.in_backend = True
+        try:
+            return fn(*args)
+        finally:
+            bus.in_backend = False
 
     # ------------------------------------------------------------------
     def run(self, programs: Sequence[Callable[[int], Generator]]) -> RunStats:
@@ -110,6 +133,7 @@ class Simulator:
             for tid, make in enumerate(programs)
         ]
         steps = 0
+        bus = self.bus
         while True:
             runnable = [
                 t for t in self._threads if not t.done and not t.parked
@@ -121,12 +145,14 @@ class Simulator:
                     )
                 break
             thread = min(runnable, key=lambda t: (t.clock, t.tid))
+            if bus.wants("step"):
+                bus.emit(SimEvent("step", thread.tid, thread.clock))
             self._step(thread)
             steps += 1
             if steps > self.max_steps:
                 raise RuntimeError("simulation exceeded max_steps (livelock?)")
         self.stats.makespan_ns = max(t.clock for t in self._threads)
-        self.backend.run_finished()
+        self._hook(self.backend.run_finished)
         return self.stats
 
     def wake(self, tid: int, at_ns: float) -> None:
@@ -136,6 +162,15 @@ class Simulator:
             raise RuntimeError(f"thread {tid} is not parked")
         thread.parked = False
         thread.clock = max(thread.clock, at_ns)
+        if self.bus.wants("wake"):
+            self.bus.emit(SimEvent("wake", tid, thread.clock))
+
+    def _park(self, thread: _Thread, reason: str) -> None:
+        thread.parked = True
+        if self.bus.wants("park"):
+            self.bus.emit(
+                SimEvent("park", thread.tid, thread.clock, cause=reason)
+            )
 
     # ------------------------------------------------------------------
     def _step(self, thread: _Thread) -> None:
@@ -164,7 +199,7 @@ class Simulator:
     def _arrive_barrier(self, thread: _Thread, barrier) -> None:
         barrier.waiting.append((thread.tid, thread.clock))
         if len(barrier.waiting) < barrier.parties:
-            thread.parked = True
+            self._park(thread, "barrier")
             return
         release = max(clock for _, clock in barrier.waiting) + barrier.cost_ns
         for tid, _ in barrier.waiting:
@@ -176,6 +211,7 @@ class Simulator:
 
     def _begin_attempt(self, thread: _Thread) -> None:
         txn = thread.txn
+        bus = self.bus
         while True:
             txn.body = txn.make_body()
             txn.body_value = None
@@ -183,24 +219,46 @@ class Simulator:
             txn.attempt += 1
             txn.attempt_start = thread.clock
             try:
-                thread.clock = self.backend.begin(thread.tid, thread.clock)
+                thread.clock = self._hook(
+                    self.backend.begin, thread.tid, thread.clock
+                )
+                if bus.wants("begin"):
+                    bus.emit(
+                        SimEvent(
+                            "begin",
+                            thread.tid,
+                            thread.clock,
+                            label=txn.label,
+                            attempt_index=txn.attempt,
+                        )
+                    )
                 return
             except ParkThread:
                 # Re-begin entirely on wake (body not started yet).
                 txn.body = None
                 txn.pending_op = "begin"
-                thread.parked = True
+                self._park(thread, "begin")
                 return
             except TransactionAborted as aborted:
                 # A begin can abort (e.g. HTM with the fallback lock
                 # held); charge it like any other abort and retry.
-                self.stats.record_abort(aborted.cause)
+                # ``began=False``: no attempt opened, recorders must
+                # not close one.
                 if aborted.at_ns is not None:
                     thread.clock = max(thread.clock, aborted.at_ns)
-                thread.clock = self.backend.rollback(
-                    thread.tid, thread.clock, aborted.cause
+                bus.emit(
+                    SimEvent(
+                        "abort",
+                        thread.tid,
+                        thread.clock,
+                        cause=aborted.cause,
+                        began=False,
+                    )
                 )
-                thread.clock += self._backoff_ns(thread, txn.attempt, aborted.cause)
+                thread.clock = self._hook(
+                    self.backend.rollback, thread.tid, thread.clock, aborted.cause
+                )
+                self._charge_backoff(thread, txn.attempt, aborted.cause)
 
     def _step_transaction(self, thread: _Thread) -> None:
         txn = thread.txn
@@ -227,20 +285,37 @@ class Simulator:
             self._apply_txn_op(thread, op)
         except ParkThread:
             txn.pending_op = op
-            thread.parked = True
+            self._park(thread, "operation")
         except TransactionAborted as aborted:
             self._handle_abort(thread, aborted)
 
     def _apply_txn_op(self, thread: _Thread, op: Any) -> None:
         txn = thread.txn
+        bus = self.bus
         if isinstance(op, Read):
-            value, ready = self.backend.read(thread.tid, op.addr, thread.clock)
+            value, ready = self._hook(
+                self.backend.read, thread.tid, op.addr, thread.clock
+            )
             thread.clock = ready
             txn.body_value = value
+            if bus.wants("read"):
+                bus.emit(
+                    SimEvent("read", thread.tid, ready, addr=op.addr, value=value)
+                )
         elif isinstance(op, Write):
-            thread.clock = self.backend.write(
-                thread.tid, op.addr, op.value, thread.clock
+            thread.clock = self._hook(
+                self.backend.write, thread.tid, op.addr, op.value, thread.clock
             )
+            if bus.wants("write"):
+                bus.emit(
+                    SimEvent(
+                        "write",
+                        thread.tid,
+                        thread.clock,
+                        addr=op.addr,
+                        value=op.value,
+                    )
+                )
         elif isinstance(op, Work):
             thread.clock += op.ns * self.cost_model.compute_scale(self.n_threads)
         elif isinstance(op, Alloc):
@@ -250,30 +325,46 @@ class Simulator:
             raise TypeError(f"transaction bodies may not yield {op!r}")
 
     def _try_commit(self, thread: _Thread, result: Any) -> None:
-        txn = thread.txn
         try:
-            thread.clock = self.backend.commit(thread.tid, thread.clock)
+            thread.clock = self._hook(self.backend.commit, thread.tid, thread.clock)
         except ParkThread:
-            txn.pending_op = "commit:" + repr(result)
-            # Commits never park in the provided backends; keep the
-            # state machine honest if one ever does.
+            # Invariant: commits decide at a definite simulated time.
+            # A parked commit would strand the driver with a finished
+            # body and no operation to re-issue; backends must either
+            # complete the commit (possibly charging queueing delay in
+            # the returned timestamp) or abort the transaction.
             raise RuntimeError("commit must not park")
         except TransactionAborted as aborted:
             self._handle_abort(thread, aborted)
             return
-        self.stats.commits += 1
+        self.bus.emit(SimEvent("commit", thread.tid, thread.clock))
         thread.txn = None
         thread.program_value = result
 
     def _handle_abort(self, thread: _Thread, aborted: TransactionAborted) -> None:
         txn = thread.txn
-        self.stats.record_abort(aborted.cause)
         if aborted.at_ns is not None:
             thread.clock = max(thread.clock, aborted.at_ns)
-        self.stats.wasted_ns += thread.clock - txn.attempt_start
-        thread.clock = self.backend.rollback(thread.tid, thread.clock, aborted.cause)
-        thread.clock += self._backoff_ns(thread, txn.attempt, aborted.cause)
+        self.bus.emit(
+            SimEvent(
+                "abort",
+                thread.tid,
+                thread.clock,
+                cause=aborted.cause,
+                wasted=thread.clock - txn.attempt_start,
+            )
+        )
+        thread.clock = self._hook(
+            self.backend.rollback, thread.tid, thread.clock, aborted.cause
+        )
+        self._charge_backoff(thread, txn.attempt, aborted.cause)
         self._begin_attempt(thread)
+
+    def _charge_backoff(self, thread: _Thread, attempt: int, cause: str) -> None:
+        pause = self._backoff_ns(thread, attempt, cause)
+        thread.clock += pause
+        if self.bus.wants("backoff"):
+            self.bus.emit(SimEvent("backoff", thread.tid, thread.clock, ns=pause))
 
     def _backoff_ns(
         self, thread: _Thread, attempt: int, cause: Optional[str] = None

@@ -16,7 +16,7 @@ validation overhead falls out of the same counters.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -100,6 +100,30 @@ class RunStats:
 
     def record_abort(self, cause: str) -> None:
         self.aborts_by_cause[cause] += 1
+
+    # -- serialization (the exec layer's cache + process transport) ----
+    def to_dict(self) -> dict:
+        """JSON-ready dict; round-trips exactly through
+        :meth:`from_dict` (Counters become sorted plain dicts)."""
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, Counter):
+                value = {k: value[k] for k in sorted(value)}
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunStats":
+        known = {f.name for f in fields(cls)}
+        kwargs = {}
+        for key, value in payload.items():
+            if key not in known:
+                continue  # forward compatibility: ignore unknown fields
+            if key in ("aborts_by_cause", "faults_injected"):
+                value = Counter(value)
+            kwargs[key] = value
+        return cls(**kwargs)
 
     def summary(self) -> str:
         causes = ", ".join(f"{k}={v}" for k, v in sorted(self.aborts_by_cause.items()))

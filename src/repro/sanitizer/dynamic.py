@@ -1,11 +1,21 @@
-"""The dynamic TM sanitizer: instrument, record, replay, judge.
+"""The dynamic TM sanitizer: subscribe, record, replay, judge.
 
-:class:`SanitizerBackend` wraps any runtime backend (rococotm,
-tinystm, tinystm_etl, tsx, si_mvcc, coarse_lock, ...), recording a
-timed per-access event log alongside the multi-version
-:class:`repro.semantics.History` the recording layer already builds.
-After the run, :meth:`SanitizerBackend.report` replays the history
-through the semantics oracles:
+:class:`SanitizerBackend` opts any runtime backend (rococotm,
+tinystm, tinystm_etl, tsx, si_mvcc, coarse_lock, ...) into full
+instrumentation.  Since the event-bus refactor it observes nothing in
+the hook path itself: the simulator publishes every state transition
+on its :class:`~repro.runtime.events.EventBus`, and the sanitizer is
+a pair of bus subscribers bracketing the shared
+:class:`~repro.runtime.recording.HistoryRecorder` — a *pre* handler
+that folds pending direct stores into the history before the recorder
+sees the next transactional operation, and a *log* handler that
+appends the timed :class:`TxEvent` after the recorder has attributed
+versions.  Direct (non-transactional) stores still arrive through
+:meth:`Memory.subscribe`, discriminated from backend write-backs by
+the bus's ``in_backend`` flag rather than a private wrapper flag.
+
+After the run, :meth:`SanitizerBackend.report` replays the recorded
+history through the semantics oracles:
 
 1. **serializability** of the committed set — acyclic ``->_rw`` plus a
    serial-replay-verified witness (:func:`assert_serializable`);
@@ -26,32 +36,21 @@ programs may diverge benignly) unless ``strict`` is set.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..runtime import Memory, Simulator, TMBackend
+from ..runtime.events import SimEvent
 from ..runtime.recording import RecordingBackend
 from ..semantics.serializability import explain_cycle, replay_serially, serialization_witness
 from .events import EventLog, TxEvent
 from .report import SanitizeReport, Violation
 
+#: the transitions the sanitizer's subscribers care about.
+_KINDS = ("begin", "read", "write", "commit", "abort")
+
 
 class SanitizerBackend(RecordingBackend):
     """Any backend, instrumented: event log + post-run oracle replay."""
-
-    #: the event log is recorder bookkeeping, appended at the single
-    #: simulated instant each operation executes (TM003; see
-    #: RecordingBackend._sanitizer_locked for the argument).
-    _sanitizer_locked = (
-        "_writes",
-        "_written_values",
-        "_current",
-        "aborted_attempts",
-        "history",
-        "log",
-        "_in_backend",
-        "_nt_pending",
-        "nt_attempts",
-    )
 
     def __init__(self, inner: TMBackend):
         super().__init__(inner)
@@ -59,16 +58,25 @@ class SanitizerBackend(RecordingBackend):
         self.log = EventLog()
         self._tid_of: Dict[int, int] = {}
         self._memory_mismatches = []
-        #: True while a backend hook runs: stores observed then are the
-        #: backend's own write-backs, not workload phase code.
-        self._in_backend = False
         #: pending direct (non-transactional) stores, addr -> value.
         self._nt_pending: Dict[int, object] = {}
         #: pseudo-attempt ids minted for direct-store batches.
         self.nt_attempts = []
+        #: attempt ids captured by the pre-handler before the recorder
+        #: closes them (commit/abort pop the recorder's current map).
+        self._stashed: Dict[int, Optional[int]] = {}
+        self._bus = None
 
     def attach(self, simulator) -> None:
-        super().attach(simulator)
+        # Subscription order is the instrumentation contract: the pre
+        # handler flushes direct stores *before* the recorder processes
+        # the next transactional op (so version attribution sees the
+        # phase boundary), and the log handler runs *after* it (so the
+        # observed read version is already computed).
+        self._bus = simulator.bus
+        simulator.bus.subscribe(self._pre_event, kinds=_KINDS)
+        super().attach(simulator)  # HistoryRecorder subscribes here.
+        simulator.bus.subscribe(self._log_event, kinds=_KINDS)
         self.memory.subscribe(self._on_direct_store)
 
     # ------------------------------------------------------------------
@@ -85,109 +93,74 @@ class SanitizerBackend(RecordingBackend):
     # quiesced phase boundary.
     # ------------------------------------------------------------------
     def _on_direct_store(self, addr: int, value) -> None:
-        if not self._in_backend:
+        if self._bus is None or not self._bus.in_backend:
             self._nt_pending[addr] = value
 
     def _flush_direct_stores(self, now: float = 0.0) -> None:
         if not self._nt_pending:
             return
         batch, self._nt_pending = self._nt_pending, {}
-        self._attempt_id += 1
-        attempt = self._attempt_id
+        attempt = self.recorder.record_direct_commit(batch)
         self.nt_attempts.append(attempt)
-        self.history.begin(attempt)
         self.log.append(TxEvent("begin", attempt, -1, now))
         for addr, value in sorted(batch.items()):
-            self.history.write(attempt, addr)
-            self._written_values.setdefault(addr, {})[attempt] = value
             self.log.append(TxEvent("write", attempt, -1, now, addr=addr, value=value))
-        self.history.commit(attempt)
         self.log.append(TxEvent("commit", attempt, -1, now))
-        self._committed_set.add(attempt)
-        for addr in batch:
-            self._last_writer[addr] = attempt
 
     # ------------------------------------------------------------------
-    # Instrumented hooks: delegate via RecordingBackend, log the event.
+    # Bus subscribers
     # ------------------------------------------------------------------
-    def begin(self, tid: int, now: float) -> float:
-        self._flush_direct_stores(now)
-        self._in_backend = True
-        try:
-            at = super().begin(tid, now)
-        finally:
-            self._in_backend = False
-        attempt = self._current[tid]
-        self._tid_of[attempt] = tid
-        self.log.append(TxEvent("begin", attempt, tid, at))
-        return at
+    def _pre_event(self, event: SimEvent) -> None:
+        kind = event.kind
+        if kind != "abort":
+            self._flush_direct_stores(event.time)
+        if kind in ("commit", "abort"):
+            self._stashed[event.tid] = self.recorder.attempt_of(event.tid)
 
-    def read(self, tid: int, addr: int, now: float):
-        self._flush_direct_stores(now)
-        attempt = self._current[tid]
-        mark = len(self.history.events)
-        self._in_backend = True
-        try:
-            value, at = super().read(tid, addr, now)
-        except Exception:
-            self._log_unwound(attempt, tid, now)
-            raise
-        finally:
-            self._in_backend = False
-        if len(self.history.events) > mark:
-            version = self.history.events[-1].version
+    def _log_event(self, event: SimEvent) -> None:
+        kind, tid = event.kind, event.tid
+        if kind == "begin":
+            attempt = self.recorder.attempt_of(tid)
+            self._tid_of[attempt] = tid
+            self.log.append(TxEvent("begin", attempt, tid, event.time))
+            return
+        if kind in ("read", "write"):
+            attempt = self.recorder.attempt_of(tid)
+            if attempt is None:
+                return
+            if kind == "read":
+                self.log.append(
+                    TxEvent(
+                        "read",
+                        attempt,
+                        tid,
+                        event.time,
+                        addr=event.addr,
+                        value=event.value,
+                        version=self.recorder.last_read_version,
+                    )
+                )
+            else:
+                self.log.append(
+                    TxEvent(
+                        "write", attempt, tid, event.time, addr=event.addr, value=event.value
+                    )
+                )
+            return
+        # commit/abort closed the attempt inside the recorder; use the
+        # id the pre-handler stashed.
+        attempt = self._stashed.pop(tid, None)
+        if attempt is None:
+            return
+        if kind == "commit":
+            self.log.append(TxEvent("commit", attempt, tid, event.time))
         else:
-            # Read-own-write: served from the attempt's write buffer.
-            version = attempt
-        self.log.append(TxEvent("read", attempt, tid, at, addr=addr, value=value, version=version))
-        return value, at
-
-    def write(self, tid: int, addr: int, value, now: float) -> float:
-        self._flush_direct_stores(now)
-        attempt = self._current[tid]
-        self._in_backend = True
-        try:
-            at = super().write(tid, addr, value, now)
-        except Exception:
-            self._log_unwound(attempt, tid, now)
-            raise
-        finally:
-            self._in_backend = False
-        self.log.append(TxEvent("write", attempt, tid, at, addr=addr, value=value))
-        return at
-
-    def commit(self, tid: int, now: float) -> float:
-        self._flush_direct_stores(now)
-        attempt = self._current[tid]
-        self._in_backend = True
-        try:
-            at = super().commit(tid, now)
-        except Exception:
-            self._log_unwound(attempt, tid, now)
-            raise
-        finally:
-            self._in_backend = False
-        self.log.append(TxEvent("commit", attempt, tid, at))
-        return at
-
-    def rollback(self, tid: int, now: float, cause: str) -> float:
-        self._in_backend = True
-        try:
-            return super().rollback(tid, now, cause)
-        finally:
-            self._in_backend = False
-
-    def _log_unwound(self, attempt: int, tid: int, now: float) -> None:
-        """Record the abort if the recording layer just closed the attempt."""
-        if attempt not in self._current.values() and self.history.record(attempt).committed is False:
-            self.log.append(TxEvent("abort", attempt, tid, now, cause="unwound"))
+            self.log.append(
+                TxEvent("abort", attempt, tid, event.time, cause=event.cause)
+            )
 
     def run_finished(self) -> None:
-        self._in_backend = True
-        try:
-            super().run_finished()
-        finally:
-            self._in_backend = False
+        super().run_finished()
         self._flush_direct_stores()
         self._check_final_memory()
 
@@ -200,15 +173,16 @@ class SanitizerBackend(RecordingBackend):
         memory = self.memory
         if memory is None:
             return
-        for addr, writer in sorted(self._last_writer.items()):
-            expected = self._written_values[addr][writer]
+        recorder = self.recorder
+        for addr, writer in sorted(recorder.last_writer.items()):
+            expected = recorder.written_values[addr][writer]
             actual = memory.load(addr)
             if actual != expected:
                 self._memory_mismatches.append((addr, writer, expected, actual))
 
     def report(self, workload: str = "") -> SanitizeReport:
         """Replay the recorded history through every oracle."""
-        self._finish_stragglers()
+        self.recorder.finish_stragglers()
         history = self.history
         rep = SanitizeReport(
             backend=self.name,

@@ -128,15 +128,17 @@ class _PlainBackend(TMBackend):
 
 
 class _FakeSimulator:
-    """The minimal attach surface for driving hooks by hand."""
+    """The minimal attach surface for driving the bus by hand."""
 
     def __init__(self, memory: Memory, n_threads: int = 2):
         from ..runtime import CostModel, RunStats
+        from ..runtime.events import EventBus
 
         self.memory = memory
         self.stats = RunStats(backend="selfcheck", workload="", n_threads=n_threads)
         self.cost_model = CostModel()
         self.n_threads = n_threads
+        self.bus = EventBus()
 
 
 # ----------------------------------------------------------------------
@@ -228,9 +230,12 @@ def _check_writeback_race() -> None:
 
 
 def _check_opacity() -> None:
-    """Hand-drive the hook API to build a zombie: T1 reads x, T2
-    commits x and y, T1 reads y — an inconsistent snapshot — then
-    aborts."""
+    """Hand-emit a zombie interleaving on the event bus: T1 reads x,
+    T2 commits x and y, T1 reads y — an inconsistent snapshot — then
+    aborts.  (This also exercises the bus end-to-end: the sanitizer
+    must reconstruct the anomaly purely from the event stream.)"""
+    from ..runtime.events import SimEvent
+
     memory = Memory()
     x = memory.alloc(1)
     y = memory.alloc(1)
@@ -238,17 +243,19 @@ def _check_opacity() -> None:
     memory.store(y, 10)
 
     backend = SanitizerBackend(_PlainBackend())
-    backend.attach(_FakeSimulator(memory))
+    simulator = _FakeSimulator(memory)
+    backend.attach(simulator)
+    bus = simulator.bus
 
-    backend.begin(0, 0.0)                 # T1 (attempt 1)
-    backend.read(0, x, 1.0)               # T1 reads x@initial
-    backend.begin(1, 2.0)                 # T2 (attempt 2)
-    backend.write(1, x, 77, 3.0)
-    backend.write(1, y, 88, 4.0)
-    backend.commit(1, 5.0)                # T2 commits x and y
-    backend.read(0, y, 6.0)               # T1 reads y@T2: zombie read
+    bus.emit(SimEvent("begin", 0, 0.0))                    # T1 (attempt 1)
+    bus.emit(SimEvent("read", 0, 1.0, addr=x, value=10))   # T1 reads x@initial
+    bus.emit(SimEvent("begin", 1, 2.0))                    # T2 (attempt 2)
+    bus.emit(SimEvent("write", 1, 3.0, addr=x, value=77))
+    bus.emit(SimEvent("write", 1, 4.0, addr=y, value=88))
+    bus.emit(SimEvent("commit", 1, 5.0))                   # T2 commits x and y
+    bus.emit(SimEvent("read", 0, 6.0, addr=y, value=88))   # zombie read
     # T1 aborts (the backend "noticed" too late).
-    backend._record_abort(0)
+    bus.emit(SimEvent("abort", 0, 6.0, cause="conflict"))
 
     report = backend.report(workload="zombie")
     if not report.by_kind("opacity") or not report.by_kind("doomed-read"):

@@ -21,28 +21,28 @@ from typing import Optional, Tuple
 
 from ..cc.engine import TraceCC, TraceResult
 from ..cc.trace import Trace
+from ..runtime.events import EventBus
+from ..runtime.recording import HistoryRecorder
 from ..semantics import History
 from ..semantics.serializability import explain_cycle, replay_serially, serialization_witness
 from .report import SanitizeReport, Violation
 
 
 def record_trace_history(algo: TraceCC, trace: Trace) -> Tuple[TraceResult, History]:
-    """Run *algo* over *trace*, capturing the induced history."""
-    history = History()
+    """Run *algo* over *trace*, capturing the induced history.
 
-    def observe(view, ok: bool) -> None:
-        history.begin(view.txn)
-        for read in view.reads:
-            history.read(view.txn, read.addr, version=read.version)
-        for write in view.writes:
-            history.write(view.txn, write.addr)
-        if ok:
-            history.commit(view.txn)
-        else:
-            history.abort(view.txn)
-
-    result = algo.run(trace, observer=observe)
-    return result, history
+    The engine publishes each transaction's fate on an
+    :class:`~repro.runtime.events.EventBus` (explicit ``attempt`` and
+    read ``version`` — the trace already knows them), and the shared
+    :class:`~repro.runtime.recording.HistoryRecorder` rebuilds the
+    history exactly as it does for simulator runs: one instrumentation
+    path for both execution models.
+    """
+    bus = EventBus()
+    recorder = HistoryRecorder()
+    recorder.install(bus)
+    result = algo.run(trace, bus=bus)
+    return result, recorder.history
 
 
 def check_trace_algorithm(

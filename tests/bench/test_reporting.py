@@ -1,0 +1,52 @@
+"""format_table edge cases: empty rows, tiny floats, title handling."""
+
+from repro.bench.reporting import format_table
+
+
+class TestEmptyRows:
+    def test_headers_and_rule_only(self):
+        out = format_table(["workload", "speedup"], [])
+        lines = out.splitlines()
+        assert lines == ["workload  speedup", "--------  -------"]
+
+    def test_empty_rows_with_title(self):
+        out = format_table(["a"], [], title="Figure 10")
+        assert out.splitlines()[0] == "Figure 10"
+        assert len(out.splitlines()) == 3
+
+
+class TestFloatFormatting:
+    def test_tiny_floats_go_scientific(self):
+        out = format_table(["v"], [[0.001]])
+        assert "1.00e-03" in out
+        # threshold: 0.005 and above stays fixed-point
+        assert "0.005" in format_table(["v"], [[0.005]])
+        assert "4.99e-03" in format_table(["v"], [[0.00499]])
+
+    def test_zero_is_not_scientific(self):
+        assert "0.000" in format_table(["v"], [[0.0]])
+
+    def test_negative_tiny_floats_go_scientific(self):
+        assert "-2.50e-03" in format_table(["v"], [[-0.0025]])
+
+    def test_ordinary_floats_three_decimals(self):
+        assert "3.142" in format_table(["v"], [[3.14159]])
+
+    def test_non_floats_pass_through(self):
+        out = format_table(["n", "name"], [[7, "kmeans"]])
+        assert "7" in out and "kmeans" in out
+
+
+class TestTitle:
+    def test_title_is_first_line(self):
+        out = format_table(["h"], [["x"]], title="Table 2")
+        assert out.splitlines()[0] == "Table 2"
+
+    def test_no_title_starts_with_headers(self):
+        out = format_table(["h"], [["x"]])
+        assert out.splitlines()[0].startswith("h")
+
+    def test_columns_align_to_widest_cell(self):
+        out = format_table(["h"], [["wide-cell"], ["x"]], title="t")
+        _, header, rule, first, second = out.splitlines()
+        assert len(header) == len(rule) == len(first) == len(second)

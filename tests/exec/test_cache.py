@@ -1,0 +1,101 @@
+"""ResultCache: content addressing, invalidation, durability."""
+
+import json
+
+from repro.exec import ExperimentSpec, ResultCache, code_fingerprint
+from repro.exec.stampfile import write_bench_stamp
+from repro.bench import matrix_from_results, matrix_specs
+from repro.exec.runner import SerialRunner
+from repro.runtime import RunStats
+
+SPEC = ExperimentSpec("kmeans", "TinySTM", 2, scale=0.2, seed=1)
+
+
+def _stats():
+    return RunStats(backend="TinySTM", workload="kmeans", n_threads=2, commits=7)
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.get(SPEC) is None
+        cache.put(SPEC, _stats())
+        got = cache.get(SPEC)
+        assert got is not None
+        assert got.to_dict() == _stats().to_dict()
+
+    def test_counters_and_hit_rate(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.get(SPEC)
+        cache.put(SPEC, _stats())
+        cache.get(SPEC)
+        cache.get(SPEC)
+        assert (cache.hits, cache.misses, cache.lookups) == (2, 1, 3)
+        assert cache.hit_rate == 2 / 3
+        assert len(cache) == 1
+
+    def test_real_run_round_trips_exactly(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        stats = SPEC.execute()
+        cache.put(SPEC, stats)
+        assert cache.get(SPEC).to_dict() == stats.to_dict()
+
+
+class TestInvalidation:
+    def test_different_spec_misses(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(SPEC, _stats())
+        assert cache.get(SPEC.with_(seed=2)) is None
+
+    def test_code_fingerprint_keys_the_entry(self, tmp_path):
+        old = ResultCache(str(tmp_path), fingerprint="a" * 64)
+        old.put(SPEC, _stats())
+        fresh = ResultCache(str(tmp_path), fingerprint="b" * 64)
+        assert fresh.get(SPEC) is None  # code changed: entry orphaned
+        assert ResultCache(str(tmp_path), fingerprint="a" * 64).get(SPEC) is not None
+
+    def test_fingerprint_is_memoized_and_stable(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(SPEC, _stats())
+        [path] = tmp_path.glob("*.json")
+        path.write_text("{not json")
+        assert cache.get(SPEC) is None
+
+    def test_entries_are_self_describing(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(SPEC, _stats())
+        [path] = tmp_path.glob("*.json")
+        entry = json.loads(path.read_text())
+        assert entry["spec"] == SPEC.canonical()
+        assert entry["fingerprint"] == cache.fingerprint
+        assert entry["stats"]["commits"] == 7
+
+
+class TestBenchStamp:
+    def test_write_bench_stamp(self, tmp_path):
+        from repro.stamp import KmeansWorkload
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        runner = SerialRunner(cache=cache)
+        specs = matrix_specs(
+            workloads=[KmeansWorkload], threads=(2,), scale=0.2, seed=1
+        )
+        results = runner.run(specs)
+        matrix = matrix_from_results(specs, results)
+        out = tmp_path / "BENCH_stamp.json"
+        payload = write_bench_stamp(
+            str(out), matrix, specs, wall_clock_s=1.25, runner=runner, cache=cache
+        )
+        on_disk = json.loads(out.read_text())
+        assert on_disk == payload
+        assert on_disk["n_specs"] == len(specs)
+        assert on_disk["runner"] == "serial"
+        assert on_disk["wall_clock_s"] == 1.25
+        assert on_disk["cache"]["misses"] == len(specs)
+        assert len(on_disk["cells"]) == len(matrix.cells)
+        assert on_disk["specs"][0] == specs[0].canonical()
+        assert on_disk["code_fingerprint"] == code_fingerprint()

@@ -1,0 +1,158 @@
+"""The event bus: subscription semantics and simulator emission."""
+
+import dataclasses
+
+import pytest
+
+from repro.runtime import (
+    EVENT_KINDS,
+    EventBus,
+    Memory,
+    Read,
+    RunStats,
+    SimEvent,
+    Simulator,
+    StatsCollector,
+    TinySTMBackend,
+    Transaction,
+    Work,
+    Write,
+)
+
+
+class TestEventBus:
+    def test_delivery_in_subscription_order(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda e: seen.append(("first", e.kind)))
+        bus.subscribe(lambda e: seen.append(("second", e.kind)), kinds=("commit",))
+        bus.emit(SimEvent("commit", 0, 1.0))
+        assert seen == [("first", "commit"), ("second", "commit")]
+
+    def test_kind_filtering(self):
+        bus = EventBus()
+        commits = []
+        bus.subscribe(commits.append, kinds=("commit",))
+        bus.emit(SimEvent("abort", 0, 1.0, cause="conflict"))
+        bus.emit(SimEvent("commit", 0, 2.0))
+        assert [e.kind for e in commits] == ["commit"]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EventBus().subscribe(lambda e: None, kinds=("teleport",))
+
+    def test_wants(self):
+        bus = EventBus()
+        assert not bus.wants("read")
+        bus.subscribe(lambda e: None, kinds=("read",))
+        assert bus.wants("read")
+        assert not bus.wants("write")
+        bus.subscribe(lambda e: None)  # catch-all makes every kind wanted
+        assert bus.wants("write")
+
+    def test_events_are_frozen(self):
+        event = SimEvent("commit", 0, 1.0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            event.kind = "abort"
+
+
+class TestStatsCollector:
+    def test_accumulates_outcomes(self):
+        stats = RunStats()
+        bus = EventBus()
+        StatsCollector(stats).install(bus)
+        bus.emit(SimEvent("commit", 0, 1.0))
+        bus.emit(SimEvent("commit", 1, 2.0))
+        bus.emit(SimEvent("abort", 0, 3.0, cause="cpu-conflict", wasted=120.0))
+        assert stats.commits == 2
+        assert stats.aborts_by_cause == {"cpu-conflict": 1}
+        assert stats.wasted_ns == 120.0
+
+
+def _contended_counter(base, increments):
+    def body():
+        value = yield Read(base)
+        yield Work(300)
+        yield Write(base, value + 1)
+
+    def program(tid):
+        for _ in range(increments):
+            yield Transaction(body, label="incr")
+            yield Work(50)
+
+    return program
+
+
+class TestSimulatorEmission:
+    def _run(self, n_threads=4, increments=5):
+        memory = Memory()
+        base = memory.alloc(1)
+        memory.store(base, 0)
+        simulator = Simulator(TinySTMBackend(), n_threads, memory=memory, seed=0)
+        events = []
+        simulator.bus.subscribe(events.append)
+        stats = simulator.run([_contended_counter(base, increments)] * n_threads)
+        return stats, events
+
+    def test_every_kind_is_a_known_kind(self):
+        _, events = self._run()
+        assert {e.kind for e in events} <= set(EVENT_KINDS)
+
+    def test_outcomes_match_stats(self):
+        stats, events = self._run()
+        kinds = [e.kind for e in events]
+        assert kinds.count("commit") == stats.commits == 4 * 5
+        assert kinds.count("abort") == stats.aborts
+        # every abort is followed by backoff, and aborts imply retries:
+        # more begins than attempts that succeeded.
+        assert kinds.count("backoff") >= kinds.count("abort")
+        assert kinds.count("begin") == stats.commits + sum(
+            1 for e in events if e.kind == "abort" and e.began
+        )
+
+    def test_begin_carries_label_and_attempt_index(self):
+        _, events = self._run()
+        begins = [e for e in events if e.kind == "begin"]
+        assert all(e.label == "incr" for e in begins)
+        assert all(e.attempt_index >= 1 for e in begins)
+        assert any(e.attempt_index > 1 for e in begins)  # contention retried
+
+    def test_reads_and_writes_carry_addr_and_value(self):
+        _, events = self._run(n_threads=1, increments=3)
+        reads = [e for e in events if e.kind == "read"]
+        writes = [e for e in events if e.kind == "write"]
+        assert [e.value for e in reads] == [0, 1, 2]
+        assert [e.value for e in writes] == [1, 2, 3]
+        assert all(e.addr is not None for e in reads + writes)
+
+    def test_time_is_monotone_per_thread(self):
+        _, events = self._run()
+        clocks = {}
+        for event in events:
+            if event.kind == "step":
+                continue
+            assert event.time >= clocks.get(event.tid, 0.0)
+            clocks[event.tid] = event.time
+
+    def test_no_subscriber_no_read_events(self):
+        # The hot path must not fabricate events nobody consumes; the
+        # stats collector only listens to commit/abort.
+        memory = Memory()
+        base = memory.alloc(1)
+        memory.store(base, 0)
+        simulator = Simulator(TinySTMBackend(), 2, memory=memory, seed=0)
+        assert not simulator.bus.wants("read")
+        assert simulator.bus.wants("commit")
+
+    def test_in_backend_flag_raised_inside_hooks(self):
+        memory = Memory()
+        base = memory.alloc(1)
+        memory.store(base, 0)
+        simulator = Simulator(TinySTMBackend(), 2, memory=memory, seed=0)
+        flags = []
+        memory.subscribe(lambda addr, value: flags.append(simulator.bus.in_backend))
+        simulator.run([_contended_counter(base, 2)] * 2)
+        # TinySTM is write-back: every store observed during the run is
+        # a commit-time write-back, performed inside a backend hook.
+        assert flags and all(flags)
+        assert simulator.bus.in_backend is False
