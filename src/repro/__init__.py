@@ -38,7 +38,19 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import bench, cc, core, faults, hw, runtime, semantics, signatures, stamp, txlib
+from . import (
+    bench,
+    cc,
+    core,
+    faults,
+    hw,
+    obs,
+    runtime,
+    semantics,
+    signatures,
+    stamp,
+    txlib,
+)
 
 __all__ = [
     "__version__",
@@ -47,6 +59,7 @@ __all__ = [
     "core",
     "faults",
     "hw",
+    "obs",
     "runtime",
     "semantics",
     "signatures",

@@ -123,6 +123,7 @@ def matrix_specs(
     scale: float = 0.5,
     seed: int = 1,
     verify: bool = True,
+    obs: bool = False,
 ) -> List[ExperimentSpec]:
     """The grid as specs: per workload, one sequential baseline cell
     followed by every (backend, threads) cell, in deterministic order."""
@@ -132,7 +133,7 @@ def matrix_specs(
         specs.append(
             ExperimentSpec(
                 workload_cls.name, "sequential", 1,
-                scale=scale, seed=seed, verify=verify,
+                scale=scale, seed=seed, verify=verify, obs=obs,
             )
         )
         for backend in backend_names:
@@ -140,7 +141,7 @@ def matrix_specs(
                 specs.append(
                     ExperimentSpec(
                         workload_cls.name, backend, n_threads,
-                        scale=scale, seed=seed, verify=verify,
+                        scale=scale, seed=seed, verify=verify, obs=obs,
                     )
                 )
     return specs

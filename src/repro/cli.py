@@ -14,13 +14,22 @@ Examples::
     python -m repro chaos kmeans --schedule all --sanitize
     python -m repro sanitize vacation ROCoCoTM --faults stall
 
+    python -m repro trace vacation ROCoCoTM --out trace.json
+    python -m repro metrics kmeans ROCoCoTM --faults mixed --json
+
 Each subcommand prints the rows/series of the corresponding figure or
 table; see ``benchmarks/`` for the asserted pytest-benchmark variants.
+
+Exit codes: 0 success, 1 failure (violations found, run error), 2
+usage error.  Parse errors exit through argparse; every error *after*
+parsing is converted to a return code by :func:`main`, never an
+uncaught traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -50,6 +59,39 @@ from .stamp import ALL_WORKLOADS, CONTENTION_VARIANTS, EXTRA_WORKLOADS
 #: of truth for what a workload/backend name means everywhere.
 BACKENDS = BACKEND_REGISTRY
 WORKLOADS = WORKLOAD_REGISTRY
+
+#: tolerated spellings for registry keys (external tooling says
+#: "stamp-vacation-low" where the registry says "vacation").
+WORKLOAD_ALIASES = {
+    "vacation-low": "vacation",
+    "kmeans-high": "kmeans",
+}
+
+
+def _resolve_workload(name: str) -> str:
+    """Map a user-facing workload spelling onto its registry key."""
+    key = name.lower()
+    if key.startswith("stamp-"):
+        key = key[len("stamp-"):]
+    key = WORKLOAD_ALIASES.get(key, key)
+    if key not in WORKLOADS:
+        raise SystemExit(
+            f"unknown workload {name!r}; choose from: "
+            + ", ".join(sorted(WORKLOADS))
+        )
+    return key
+
+
+def _resolve_backend(name: str) -> str:
+    """Case-insensitive backend lookup (``rococotm`` -> ``ROCoCoTM``)."""
+    by_lower = {key.lower(): key for key in BACKENDS}
+    key = by_lower.get(name.lower())
+    if key is None:
+        raise SystemExit(
+            f"unknown backend {name!r}; choose from: "
+            + ", ".join(sorted(BACKENDS))
+        )
+    return key
 
 
 def _make_backend(name: str, faults: Optional[str] = None, fault_seed: int = 0):
@@ -138,7 +180,7 @@ def _cmd_fig10(args) -> int:
     runner = default_runner(args.jobs, cache=cache)
     specs = matrix_specs(
         workloads=workloads, threads=tuple(args.threads),
-        scale=args.scale, seed=args.seed,
+        scale=args.scale, seed=args.seed, obs=args.obs,
     )
     started = time.perf_counter()
     results = runner.run(
@@ -149,7 +191,8 @@ def _cmd_fig10(args) -> int:
     matrix = matrix_from_results(specs, results)
     if args.stamp_json:
         write_bench_stamp(
-            args.stamp_json, matrix, specs, wall_clock_s, runner, cache
+            args.stamp_json, matrix, specs, wall_clock_s, runner, cache,
+            results=results if args.obs else None,
         )
         print(f"wrote {args.stamp_json}", file=sys.stderr)
     if cache is not None:
@@ -341,6 +384,97 @@ def _cmd_sanitize(args) -> int:
     return 0 if report.ok else 1
 
 
+def _run_observed(args, trace: bool):
+    """Shared trace/metrics driving: resolve names, run one observed cell."""
+    from .obs import observe_stamp
+
+    workload = _resolve_workload(args.workload)
+    backend_name = _resolve_backend(args.backend)
+    if args.faults and backend_name != "ROCoCoTM":
+        raise SystemExit(
+            "--faults injects into the FPGA validation path and "
+            "requires the ROCoCoTM backend"
+        )
+    backend = _make_backend(backend_name, args.faults, args.fault_seed)
+    n_threads = 1 if backend_name == "sequential" else args.threads
+    stats, tracer, registry = observe_stamp(
+        WORKLOADS[workload],
+        backend,
+        n_threads,
+        scale=args.scale,
+        seed=args.seed,
+        verify=not args.no_verify,
+        trace=trace,
+        detail=trace and not args.no_detail,
+    )
+    return workload, backend_name, n_threads, stats, tracer, registry
+
+
+def _cmd_trace(args) -> int:
+    from .obs import write_chrome_trace
+
+    workload, backend_name, n_threads, stats, tracer, _ = _run_observed(
+        args, trace=True
+    )
+    payload = write_chrome_trace(
+        args.out,
+        tracer,
+        workload=workload,
+        backend=backend_name,
+        n_threads=n_threads,
+        scale=args.scale,
+        seed=args.seed,
+        faults=args.faults,
+    )
+    print(stats.summary())
+    print(
+        f"trace: {len(tracer.spans)} spans, {len(tracer.markers)} markers, "
+        f"{len(payload['traceEvents'])} trace events -> {args.out}"
+    )
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import json
+
+    workload, backend_name, n_threads, stats, _, registry = _run_observed(
+        args, trace=False
+    )
+    snapshot = registry.snapshot()
+    if args.out:
+        with open(args.out, "w") as sink:
+            json.dump(snapshot, sink, indent=1, sort_keys=True)
+            sink.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(snapshot, indent=1, sort_keys=True))
+        return 0
+    title = f"{workload}/{backend_name}@{n_threads}t (scale {args.scale}, seed {args.seed})"
+    print_table(
+        ["counter", "value"],
+        [[name, value] for name, value in snapshot["counters"].items()],
+        title=f"Counters: {title}",
+    )
+    if snapshot["gauges"]:
+        print_table(
+            ["gauge", "value"],
+            [[name, value] for name, value in snapshot["gauges"].items()],
+            title="Gauges",
+        )
+    hist_rows = []
+    for name, hist in snapshot["histograms"].items():
+        mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
+        hist_rows.append([name, hist["count"], mean, hist["min"], hist["max"]])
+    if hist_rows:
+        print_table(
+            ["histogram", "count", "mean", "min", "max"],
+            hist_rows,
+            title="Histograms",
+        )
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from .sanitizer import lint_paths
 
@@ -356,8 +490,13 @@ def _cmd_lint(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro", description="ROCoCoTM reproduction harness"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -397,6 +536,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write machine-readable sweep results (specs, cells, "
         "wall-clock, cache hit rate)",
+    )
+    p10.add_argument(
+        "--obs",
+        action="store_true",
+        help="attach the metrics registry to every cell; snapshots land "
+        "in the --stamp-json record (merged across shards)",
     )
     p10.set_defaults(func=_cmd_fig10)
 
@@ -502,6 +647,50 @@ def build_parser() -> argparse.ArgumentParser:
     pz.add_argument("--fault-seed", type=int, default=0)
     pz.set_defaults(func=_cmd_sanitize)
 
+    def add_observed_args(sub_parser, default_scale: float) -> None:
+        sub_parser.add_argument("workload", help="workload name (see `repro list`)")
+        sub_parser.add_argument("backend", help="backend name, case-insensitive")
+        sub_parser.add_argument("--threads", type=int, default=4)
+        sub_parser.add_argument("--scale", type=float, default=default_scale)
+        sub_parser.add_argument("--seed", type=int, default=1)
+        sub_parser.add_argument(
+            "--faults",
+            choices=BUILTIN_SCHEDULES,
+            help="inject this fault schedule (ROCoCoTM only)",
+        )
+        sub_parser.add_argument("--fault-seed", type=int, default=0)
+        sub_parser.add_argument(
+            "--no-verify",
+            action="store_true",
+            help="skip the workload's final-state invariant check",
+        )
+
+    pt = sub.add_parser(
+        "trace",
+        help="record one run as Chrome trace-event JSON (ui.perfetto.dev)",
+    )
+    add_observed_args(pt, default_scale=0.25)
+    pt.add_argument(
+        "--out", default="trace.json", help="output path (default trace.json)"
+    )
+    pt.add_argument(
+        "--no-detail",
+        action="store_true",
+        help="omit per-operation read/write markers (smaller trace)",
+    )
+    pt.set_defaults(func=_cmd_trace)
+
+    pm = sub.add_parser(
+        "metrics",
+        help="run one cell with the metrics registry attached, print the snapshot",
+    )
+    add_observed_args(pm, default_scale=0.25)
+    pm.add_argument(
+        "--json", action="store_true", help="print the snapshot as JSON"
+    )
+    pm.add_argument("--out", metavar="PATH", help="also write the snapshot to PATH")
+    pm.set_defaults(func=_cmd_metrics)
+
     pl = sub.add_parser(
         "lint", help="repo-specific AST lint (TM001-TM004; exit 1 on errors)"
     )
@@ -513,7 +702,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SystemExit as bail:
+        # Commands bail out with SystemExit("message") or a code;
+        # normalize both to a return value so callers (and tests) see
+        # exit codes, not exceptions, for every post-parse failure.
+        if bail.code is None:
+            return 0
+        if isinstance(bail.code, int):
+            return bail.code
+        print(bail.code, file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:  # pragma: no cover
+        return 130
+    except BrokenPipeError:  # pragma: no cover - e.g. `repro list | head`
+        # Downstream closed the pipe; not an error on our side.  Point
+        # stdout at devnull so the interpreter's flush-at-exit doesn't
+        # raise a second time, and use the conventional SIGPIPE code.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
+    except Exception as failure:
+        print(f"repro: error: {type(failure).__name__}: {failure}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

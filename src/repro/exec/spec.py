@@ -82,6 +82,11 @@ class ExperimentSpec:
     #: sorted ``((field, value), ...)`` CostModel overrides; a tuple so
     #: the spec stays hashable and the hash stays order-independent.
     cost_model: Tuple[Tuple[str, float], ...] = ()
+    #: attach the observability layer (:mod:`repro.obs`): the returned
+    #: stats carry a metric snapshot in ``stats.metrics``.  Part of the
+    #: content hash — an observed run is a different (if decision-
+    #: identical) experiment from an unobserved one.
+    obs: bool = False
 
     def __post_init__(self):
         if self.workload not in WORKLOAD_REGISTRY:
@@ -150,7 +155,14 @@ class ExperimentSpec:
 
     def execute(self) -> RunStats:
         """Run the cell to completion; deterministic in the spec."""
-        return run_stamp(
+        collector = None
+        instrument = None
+        if self.obs:
+            from ..obs import MetricsCollector
+
+            collector = MetricsCollector()
+            instrument = collector.instrument
+        stats = run_stamp(
             WORKLOAD_REGISTRY[self.workload],
             self.make_backend(),
             self.n_threads,
@@ -158,7 +170,11 @@ class ExperimentSpec:
             seed=self.seed,
             cost_model=self.make_cost_model(),
             verify=self.verify,
+            instrument=instrument,
         )
+        if collector is not None:
+            stats.metrics = collector.snapshot()
+        return stats
 
     def label(self) -> str:
         tag = f"{self.workload}/{self.backend}@{self.n_threads}t"

@@ -28,8 +28,16 @@ def bench_stamp_payload(
     wall_clock_s: float,
     runner: Optional[Runner] = None,
     cache: Optional[ResultCache] = None,
+    results=None,
 ) -> dict:
-    """The JSON-ready record of one sweep."""
+    """The JSON-ready record of one sweep.
+
+    *results* (the runner's per-spec :class:`RunStats`, in spec order)
+    adds a ``metrics`` section when any cell ran with observability:
+    per-cell snapshots plus their merged aggregate.  Snapshots merge
+    counter-by-counter and bucket-by-bucket, so a pool-sharded sweep
+    stamps byte-identically to a serial one.
+    """
     payload = {
         "version": STAMP_VERSION,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -54,6 +62,24 @@ def bench_stamp_payload(
             "misses": cache.misses,
             "hit_rate": round(cache.hit_rate, 6),
         }
+    if results is not None:
+        observed = [
+            (spec, stats)
+            for spec, stats in zip(specs, results)
+            if getattr(stats, "metrics", None) is not None
+        ]
+        if observed:
+            from ..obs import merge_metric_snapshots
+
+            payload["metrics"] = {
+                "cells": [
+                    {"label": spec.label(), "snapshot": stats.metrics}
+                    for spec, stats in observed
+                ],
+                "merged": merge_metric_snapshots(
+                    [stats.metrics for _, stats in observed]
+                ),
+            }
     return payload
 
 
@@ -64,9 +90,12 @@ def write_bench_stamp(
     wall_clock_s: float,
     runner: Optional[Runner] = None,
     cache: Optional[ResultCache] = None,
+    results=None,
 ) -> dict:
     """Write the sweep record to *path*; returns the payload."""
-    payload = bench_stamp_payload(matrix, specs, wall_clock_s, runner, cache)
+    payload = bench_stamp_payload(
+        matrix, specs, wall_clock_s, runner, cache, results=results
+    )
     with open(path, "w") as sink:
         json.dump(payload, sink, indent=1, sort_keys=True)
         sink.write("\n")

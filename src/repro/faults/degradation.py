@@ -78,6 +78,9 @@ class DegradationManager:
         self.primary = primary
         self.software = software
         self.policy = policy or DegradationPolicy()
+        #: event bus for failover/failback transitions (set by the
+        #: owning backend's ``attach``; None outside a simulation).
+        self.bus = None
         self.mode = MODE_FPGA
         self.timeouts = 0
         self.resubmits = 0
@@ -152,6 +155,23 @@ class DegradationManager:
             stats.failovers += 1
         self._next_probe_ns = at_ns + self.policy.probe_interval_ns
         self._probe_ok = 0
+        self._publish("failover", at_ns)
+
+    def _publish(self, kind: str, at_ns: float) -> None:
+        """Publish a ladder transition (wants()-gated; lazily imported
+        to keep the faults<->runtime import cycle one-directional)."""
+        if self.bus is None or not self.bus.wants(kind):
+            return
+        from ..runtime.events import SimEvent
+
+        self.bus.emit(
+            SimEvent(
+                kind,
+                -1,
+                at_ns,
+                data={"mode": self.mode, "timeouts": self.timeouts},
+            )
+        )
 
     def _maybe_probe(self, now_ns: float, stats) -> None:
         if now_ns < self._next_probe_ns:
@@ -170,3 +190,4 @@ class DegradationManager:
             self.failback_at.append(now_ns)
             if stats is not None:
                 stats.failbacks += 1
+            self._publish("failback", now_ns)

@@ -74,6 +74,10 @@ class ChaosValidationEngine:
     ):
         self.inner = inner if inner is not None else FpgaValidationEngine()
         self.plan = plan if plan is not None else FaultPlan()
+        #: event bus for ``fault`` events (set by the owning backend's
+        #: ``attach``; None outside a simulation).  Injections are
+        #: published as per-kind count deltas around each submission.
+        self.bus = None
         #: per-request CPU-side patience; None blocks forever (faults
         #: then only stretch latency, they never raise).
         self.timeout_ns = timeout_ns
@@ -103,6 +107,16 @@ class ChaosValidationEngine:
     def submit(self, request: ValidationRequest, now_ns: float) -> ValidationResponse:
         if self.plan.is_null:
             return self.inner.submit(request, now_ns)
+        bus = self.bus
+        if bus is None or not bus.wants("fault"):
+            return self._submit(request, now_ns)
+        before = dict(self.fault_counts)
+        try:
+            return self._submit(request, now_ns)
+        finally:
+            self._publish_faults(bus, before, now_ns)
+
+    def _submit(self, request: ValidationRequest, now_ns: float) -> ValidationResponse:
         self._fire_resets(now_ns)
         deadline = now_ns + self.timeout_ns if self.timeout_ns is not None else math.inf
 
@@ -188,6 +202,23 @@ class ChaosValidationEngine:
             ready_ns=ready,
         )
 
+    def _publish_faults(self, bus, before: Dict[str, int], now_ns: float) -> None:
+        """Emit one ``fault`` event per kind injected since *before*.
+
+        Lazily imported to keep the faults<->runtime import cycle
+        one-directional; only runs when a subscriber wants faults.
+        """
+        from ..runtime.events import SimEvent
+
+        for kind in sorted(self.fault_counts):
+            delta = self.fault_counts[kind] - before.get(kind, 0)
+            if delta:
+                bus.emit(
+                    SimEvent(
+                        "fault", -1, now_ns, data={"kind": kind, "count": delta}
+                    )
+                )
+
     # ------------------------------------------------------------------
     def probe(self, now_ns: float) -> bool:
         """Would a 1-line health ping answer promptly at *now_ns*?
@@ -195,6 +226,16 @@ class ChaosValidationEngine:
         Draws from an independent RNG stream so probing frequency never
         changes the data path's fault schedule.
         """
+        bus = self.bus
+        if bus is not None and bus.wants("fault"):
+            before = dict(self.fault_counts)
+            try:
+                return self._probe(now_ns)
+            finally:
+                self._publish_faults(bus, before, now_ns)
+        return self._probe(now_ns)
+
+    def _probe(self, now_ns: float) -> bool:
         self._fire_resets(now_ns)
         arrival = now_ns + self.inner.link.request_ns(1)
         if self.plan.stall_end(arrival) > arrival:

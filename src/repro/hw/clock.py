@@ -33,10 +33,19 @@ class ClockDomain:
         return cycles * self.period_ns
 
     def ns_to_cycles(self, ns: float) -> int:
-        """Whole cycles needed to cover *ns* (ceiling)."""
+        """Whole cycles needed to cover *ns* (ceiling).
+
+        An exact multiple of the period must map to exactly that many
+        cycles even when ``ns / period_ns`` lands an ulp above the
+        integer (e.g. ``cycles_to_ns(k)`` for non-power-of-two
+        periods).  The guard epsilon is *relative* to the quotient: a
+        fixed absolute epsilon is swamped once the quotient grows past
+        ~2**12, because float error scales with magnitude.
+        """
         if ns < 0:
             raise ValueError("time must be non-negative")
-        return math.ceil(ns / self.period_ns - 1e-12)
+        quotient = ns / self.period_ns
+        return math.ceil(quotient - 1e-12 * max(1.0, quotient))
 
     def align_up(self, ns: float) -> float:
         """The first clock edge at or after *ns*."""

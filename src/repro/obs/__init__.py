@@ -1,0 +1,38 @@
+"""Observability: span tracing, metrics, Perfetto export.
+
+Everything here rides the :class:`repro.runtime.events.EventBus` —
+the subsystem is a pure subscriber and adds **zero** work to a run
+that does not attach it (the bus's ``wants()`` guard).  All recorded
+times are simulated nanoseconds; nothing in this package reads a wall
+clock (see docs/OBSERVABILITY.md and the DESIGN.md determinism note).
+"""
+
+from .export import chrome_trace_payload, write_chrome_trace
+from .metrics import (
+    LATENCY_BOUNDS_NS,
+    OCCUPANCY_BOUNDS,
+    RETRY_BOUNDS,
+    Histogram,
+    MetricsCollector,
+    MetricsRegistry,
+    merge_metric_snapshots,
+)
+from .run import observe_stamp
+from .spans import HW_STAGES, Marker, Span, SpanTracer
+
+__all__ = [
+    "Histogram",
+    "HW_STAGES",
+    "LATENCY_BOUNDS_NS",
+    "Marker",
+    "MetricsCollector",
+    "MetricsRegistry",
+    "OCCUPANCY_BOUNDS",
+    "RETRY_BOUNDS",
+    "Span",
+    "SpanTracer",
+    "chrome_trace_payload",
+    "merge_metric_snapshots",
+    "observe_stamp",
+    "write_chrome_trace",
+]

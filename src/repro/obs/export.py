@@ -1,0 +1,146 @@
+"""Chrome trace-event / Perfetto JSON export for span traces.
+
+Emits the `Trace Event Format`_ JSON that ``chrome://tracing`` and
+``ui.perfetto.dev`` open directly:
+
+* process 1 (``cpu``) has one lane per simulated thread;
+* process 2 (``hw``) has one lane per pipeline stage (``link-req``,
+  ``queue``, ``detector``, ``manager``, ``link-resp``) plus marker
+  lanes for injected faults and ladder transitions;
+* spans are ``"X"`` (complete) events with ``ts``/``dur`` in
+  microseconds (simulated ns / 1000); markers are ``"i"`` (instant)
+  events; lane names are ``"M"`` (metadata) events.
+
+The payload is a pure function of the tracer's spans — no wall-clock
+timestamps, hostnames or pids ever enter it, so the exported file is
+byte-identical across runs of the same spec (the determinism
+contract, DESIGN.md).
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .spans import HW_MARKER_LANES, HW_STAGES, SpanTracer
+
+#: Chrome trace pids for the two lane groups.
+CPU_PID = 1
+HW_PID = 2
+
+#: hw lane name -> tid within the hw process, in display order.
+HW_LANE_TIDS = {
+    name: index for index, name in enumerate(HW_STAGES + HW_MARKER_LANES)
+}
+
+
+def _lane_tid(pid: str, lane) -> int:
+    if pid == "hw":
+        return HW_LANE_TIDS[lane]
+    return int(lane)
+
+
+def _lane_pid(pid: str) -> int:
+    return HW_PID if pid == "hw" else CPU_PID
+
+
+def chrome_trace_payload(tracer: SpanTracer, **meta) -> dict:
+    """Build the trace-event payload dict for *tracer*.
+
+    Keyword arguments land in ``otherData`` (workload, backend, seed,
+    ...); values must be JSON-serializable and deterministic.
+    """
+    tracer.finish()
+    events: List[dict] = []
+
+    lanes = set()
+    for span in tracer.spans:
+        lanes.add((span.pid, span.lane))
+    for marker in tracer.markers:
+        lanes.add((marker.pid, marker.lane))
+
+    # Metadata rows: stable names so lanes line up across exports.
+    events.append(_meta(CPU_PID, 0, "process_name", {"name": "cpu (simulated threads)"}))
+    events.append(_meta(HW_PID, 0, "process_name", {"name": "hw (validation pipeline)"}))
+    for pid, lane in sorted(lanes, key=lambda item: (_lane_pid(item[0]), _lane_tid(*item))):
+        name = f"thread {lane}" if pid == "cpu" else str(lane)
+        events.append(
+            _meta(_lane_pid(pid), _lane_tid(pid, lane), "thread_name", {"name": name})
+        )
+
+    rows: List[tuple] = []
+    for span in tracer.spans:
+        pid = _lane_pid(span.pid)
+        tid = _lane_tid(span.pid, span.lane)
+        args = dict(span.args)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent"] = span.parent_id
+        rows.append(
+            (
+                pid,
+                tid,
+                span.start_ns,
+                -(span.end_ns - span.start_ns),
+                span.span_id,
+                {
+                    "name": span.name,
+                    "cat": span.cat,
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": span.start_ns / 1000.0,
+                    "dur": (span.end_ns - span.start_ns) / 1000.0,
+                    "args": args,
+                },
+            )
+        )
+    for index, marker in enumerate(tracer.markers):
+        pid = _lane_pid(marker.pid)
+        tid = _lane_tid(marker.pid, marker.lane)
+        rows.append(
+            (
+                pid,
+                tid,
+                marker.ts_ns,
+                0.0,
+                # Markers sort after any span opening at the same ts.
+                tracer._next_id + index,
+                {
+                    "name": marker.name,
+                    "cat": marker.cat,
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": marker.ts_ns / 1000.0,
+                    "args": dict(marker.args),
+                },
+            )
+        )
+    # Per-lane time order; longer spans first at equal start so
+    # children follow their enclosing parents.
+    rows.sort(key=lambda row: row[:5])
+    events.extend(row[5] for row in rows)
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": dict(meta),
+    }
+
+
+def _meta(pid: int, tid: int, name: str, args: dict) -> dict:
+    return {"name": name, "ph": "M", "pid": pid, "tid": tid, "args": args}
+
+
+def write_chrome_trace(path, tracer: SpanTracer, **meta) -> dict:
+    """Serialize :func:`chrome_trace_payload` to *path*; returns it."""
+    payload = chrome_trace_payload(tracer, **meta)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return payload

@@ -1,0 +1,270 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms.
+
+Design constraints (docs/OBSERVABILITY.md):
+
+* **Cheap when recording.** A histogram observation is one bisect
+  plus four scalar updates; a counter bump is one dict update.  No
+  labels, no locks — the simulator is single-threaded, and each
+  experiment cell owns its own registry.
+* **Deterministic snapshots.** ``snapshot()`` sorts every key and
+  serializes histograms as plain lists, so two runs of the same spec
+  produce byte-identical JSON, and snapshots computed in worker
+  processes compare equal to serial ones.
+* **Mergeable.** Fixed bucket bounds (never adaptive) are what make
+  cross-shard merging exact: counters add, histogram buckets add
+  element-wise, gauges combine by ``max`` (order-independent, so the
+  merged result cannot depend on which shard finished first).
+
+All recorded values are *simulated* nanoseconds or pure counts —
+never wall-clock readings (the determinism contract, DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Optional, Sequence
+
+#: default latency buckets (simulated ns): 100 ns .. ~0.4 ms, doubling.
+LATENCY_BOUNDS_NS = (
+    100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0,
+    12800.0, 25600.0, 51200.0, 102400.0, 204800.0, 409600.0,
+)
+#: attempt-count buckets (1 = first-try commit).
+RETRY_BOUNDS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0)
+#: sliding-window / queue occupancy buckets.
+OCCUPANCY_BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 32.0, 48.0, 64.0, 96.0, 128.0)
+
+
+class Histogram:
+    """Fixed-bucket histogram: bucket *i* counts values in
+    ``(bounds[i-1], bounds[i]]``; one overflow bucket past the end."""
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float]):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        for name in ("min", "max"):
+            theirs = getattr(other, name)
+            if theirs is None:
+                continue
+            ours = getattr(self, name)
+            pick = min if name == "min" else max
+            setattr(self, name, theirs if ours is None else pick(ours, theirs))
+
+    def to_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Histogram":
+        hist = cls(payload["bounds"])
+        counts = list(payload["counts"])
+        if len(counts) != len(hist.counts):
+            raise ValueError("bucket count mismatch")
+        hist.counts = counts
+        hist.count = payload["count"]
+        hist.total = payload["sum"]
+        hist.min = payload["min"]
+        hist.max = payload["max"]
+        return hist
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for one run."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = LATENCY_BOUNDS_NS
+    ) -> Histogram:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(bounds)
+        return hist
+
+    def observe(
+        self, name: str, value: float, bounds: Sequence[float] = LATENCY_BOUNDS_NS
+    ) -> None:
+        self.histogram(name, bounds).observe(value)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-ready dict with deterministic key order."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].to_dict() for k in sorted(self.histograms)
+            },
+        }
+
+    to_dict = snapshot
+
+
+def merge_metric_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Merge per-cell snapshots into one aggregate snapshot.
+
+    Counters and histogram buckets add; gauges combine by ``max``.
+    Because runners return results in spec order, merging a pool
+    sweep's snapshots is bit-identical to merging a serial sweep's.
+    """
+    merged = MetricsRegistry()
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            merged.count(name, value)
+        for name, value in snap.get("gauges", {}).items():
+            current = merged.gauges.get(name)
+            merged.gauges[name] = value if current is None else max(current, value)
+        for name, payload in snap.get("histograms", {}).items():
+            hist = Histogram.from_dict(payload)
+            if name in merged.histograms:
+                merged.histograms[name].merge(hist)
+            else:
+                merged.histograms[name] = hist
+    return merged.snapshot()
+
+
+class MetricsCollector:
+    """Bus subscriber populating a :class:`MetricsRegistry`.
+
+    Subscribes only to the kinds it consumes — never ``read``/
+    ``write``/``step`` — so enabling metrics does not switch the
+    simulator's per-operation emissions on (``wants()`` stays False
+    for the hot-path kinds).
+    """
+
+    KINDS = (
+        "begin",
+        "commit",
+        "abort",
+        "park",
+        "wake",
+        "backoff",
+        "validate",
+        "fault",
+        "failover",
+        "failback",
+    )
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._attempt_start: Dict[int, float] = {}
+        self._attempt_index: Dict[int, int] = {}
+        self._park_start: Dict[int, float] = {}
+        self._bus = None
+
+    # ------------------------------------------------------------------
+    def install(self, bus) -> None:
+        bus.subscribe(self._on_event, kinds=self.KINDS)
+        self._bus = bus
+
+    def detach(self) -> None:
+        if self._bus is not None:
+            self._bus.unsubscribe(self._on_event)
+            self._bus = None
+
+    def instrument(self, simulator) -> None:
+        """The :func:`repro.stamp.run_stamp` ``instrument`` hook."""
+        self.install(simulator.bus)
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+    # ------------------------------------------------------------------
+    def _on_event(self, event) -> None:
+        reg = self.registry
+        kind = event.kind
+        if kind == "begin":
+            self._attempt_start[event.tid] = (
+                event.start if event.start is not None else event.time
+            )
+            self._attempt_index[event.tid] = event.attempt_index
+            reg.count("txn.begins")
+        elif kind == "commit":
+            started = self._attempt_start.pop(event.tid, event.time)
+            reg.count("txn.commits")
+            reg.observe("txn.commit_latency_ns", event.time - started)
+            attempts = self._attempt_index.pop(event.tid, 1)
+            reg.observe("txn.attempts", attempts, RETRY_BOUNDS)
+            if attempts > 1:
+                reg.count("txn.retried_commits")
+        elif kind == "abort":
+            self._attempt_start.pop(event.tid, None)
+            reg.count("txn.aborts")
+            reg.count(f"txn.aborts.{event.cause}")
+            reg.observe("txn.wasted_ns", event.wasted)
+        elif kind == "park":
+            self._park_start[event.tid] = event.time
+            reg.count("txn.parks")
+        elif kind == "wake":
+            started = self._park_start.pop(event.tid, None)
+            if started is not None:
+                reg.observe("txn.parked_ns", event.time - started)
+        elif kind == "backoff":
+            reg.count("txn.backoffs")
+            reg.observe("txn.backoff_ns", event.ns)
+        elif kind == "validate":
+            data = event.data
+            reg.count("hw.validations")
+            reg.count(f"hw.mode.{data['mode']}")
+            if not data["committed"]:
+                reg.count("hw.validation_aborts")
+            reg.observe("hw.validation_ns", data["ready_ns"] - data["sent_ns"])
+            reg.observe("hw.queue_ns", data["started_ns"] - data["arrived_ns"])
+            reg.observe(
+                "hw.window_occupancy", data["window_resident"], OCCUPANCY_BOUNDS
+            )
+            reg.observe(
+                "hw.occupancy_cycles", data["occupancy_cycles"], OCCUPANCY_BOUNDS
+            )
+            reg.gauge("hw.window_resident", data["window_resident"])
+        elif kind == "fault":
+            reg.count(f"fault.{event.data['kind']}", event.data["count"])
+        elif kind == "failover":
+            reg.count("ladder.failovers")
+        elif kind == "failback":
+            reg.count("ladder.failbacks")

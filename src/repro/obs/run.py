@@ -1,0 +1,62 @@
+"""Convenience entry point: run one cell with observability attached.
+
+Wraps :func:`repro.stamp.run_stamp` with a :class:`SpanTracer` and/or
+:class:`MetricsCollector` installed on the simulator's bus via the
+``instrument`` hook, and stashes the metric snapshot on the returned
+stats so it rides the exec layer's serialization unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..runtime import CostModel, RunStats, TMBackend
+from ..stamp import run_stamp
+from .metrics import MetricsCollector, MetricsRegistry
+from .spans import SpanTracer
+
+
+def observe_stamp(
+    workload_cls,
+    backend: TMBackend,
+    n_threads: int,
+    scale: float = 1.0,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+    verify: bool = True,
+    trace: bool = True,
+    metrics: bool = True,
+    detail: bool = True,
+) -> Tuple[RunStats, Optional[SpanTracer], Optional[MetricsRegistry]]:
+    """Run one cell with tracing/metrics; returns (stats, tracer, registry).
+
+    ``detail=False`` drops per-operation read/write markers from the
+    trace (and keeps those bus kinds unobserved, so the per-operation
+    fast path stays emission-free).
+    """
+    tracer = SpanTracer(detail=detail) if trace else None
+    collector = MetricsCollector() if metrics else None
+
+    def instrument(simulator) -> None:
+        if tracer is not None:
+            tracer.install(simulator.bus)
+        if collector is not None:
+            collector.install(simulator.bus)
+
+    stats = run_stamp(
+        workload_cls,
+        backend,
+        n_threads,
+        scale=scale,
+        seed=seed,
+        cost_model=cost_model,
+        verify=verify,
+        instrument=instrument,
+    )
+    if tracer is not None:
+        tracer.finish()
+    registry = None
+    if collector is not None:
+        registry = collector.registry
+        stats.metrics = registry.snapshot()
+    return stats, tracer, registry

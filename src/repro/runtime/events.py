@@ -38,6 +38,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 #: every kind the simulator can emit (trace replays reuse a subset).
+#: The last four are published by the hybrid backend's validation
+#: path rather than the driver: ``validate`` carries the engine's
+#: per-request timing breakdown, ``fault`` an injected-fault tally,
+#: ``failover``/``failback`` the degradation ladder's transitions.
+#: All are consumed by :mod:`repro.obs`.
 EVENT_KINDS = (
     "step",
     "begin",
@@ -48,6 +53,10 @@ EVENT_KINDS = (
     "park",
     "wake",
     "backoff",
+    "validate",
+    "fault",
+    "failover",
+    "failback",
 )
 
 
@@ -83,6 +92,14 @@ class SimEvent:
     attempt: Optional[int] = None
     #: explicit read version — only set by trace-level emitters.
     version: Optional[int] = None
+    #: simulated ns at which the transition *started* (begin events:
+    #: the attempt's start, before the backend's begin cost) — lets
+    #: span tracers open attempt spans at the true boundary.
+    start: Optional[float] = None
+    #: structured payload for validation-path events (validate/fault/
+    #: failover/failback); simulated-time values only, never wall
+    #: clock (see docs/OBSERVABILITY.md).
+    data: Optional[dict] = None
 
 
 class EventBus:
@@ -119,6 +136,28 @@ class EventBus:
             if kind not in EVENT_KINDS:
                 raise ValueError(f"unknown event kind {kind!r}")
             self._by_kind.setdefault(kind, []).append(fn)
+
+    def unsubscribe(self, fn: Callable[[SimEvent], None]) -> None:
+        """Remove every registration of *fn* (catch-all and per-kind).
+
+        Kind lists that become empty are deleted so :meth:`wants`
+        returns to its pre-subscription answer — a detached tracer
+        must leave zero residue on the emission fast path.  Raises
+        ``ValueError`` if *fn* was never subscribed.
+        """
+        removed = False
+        while fn in self._all:
+            self._all.remove(fn)
+            removed = True
+        for kind in list(self._by_kind):
+            handlers = self._by_kind[kind]
+            while fn in handlers:
+                handlers.remove(fn)
+                removed = True
+            if not handlers:
+                del self._by_kind[kind]
+        if not removed:
+            raise ValueError("handler was not subscribed")
 
     def wants(self, kind: str) -> bool:
         """True if emitting *kind* would reach at least one subscriber

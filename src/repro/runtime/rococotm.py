@@ -42,6 +42,7 @@ from ..signatures import BloomSignature, SignatureConfig
 from .api import TransactionAborted
 from .backend import ParkThread, TMBackend
 from .coarse_lock import GlobalLock
+from .events import SimEvent
 
 BEGIN_NS = 10.0
 READ_BASE_NS = 6.0          # raw load + signature insert
@@ -146,6 +147,18 @@ class RococoTMBackend(TMBackend):
         self._irrevocable: set = set()
         self._lock_watchers: List[int] = []
         self.stats_irrevocable_commits = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, simulator) -> None:
+        super().attach(simulator)
+        # Observability wiring: the degradation ladder and (when
+        # present) the chaos engine publish their transitions on the
+        # run's bus.  Emissions are wants()-gated, so with no tracer
+        # or metrics collector attached this costs nothing.
+        bus = getattr(simulator, "bus", None)  # tolerate bare fakes
+        self.degradation.bus = bus
+        if hasattr(self.engine, "bus"):
+            self.engine.bus = bus
 
     # ------------------------------------------------------------------
     def begin(self, tid: int, now: float) -> float:
@@ -291,6 +304,9 @@ class RococoTMBackend(TMBackend):
             raise TransactionAborted("fpga-unavailable", at_ns=outage.at_ns) from None
         self.stats.validation_ns += response.ready_ns - now
         self.stats.validations += 1
+        bus = getattr(self.simulator, "bus", None)
+        if bus is not None and bus.wants("validate"):
+            self._publish_validation(bus, tid, request, response)
         if not response.verdict.committed:
             self._mirror_phantom_slots(txn)
             cause = "fpga-" + (response.verdict.reason or "cycle")
@@ -314,6 +330,46 @@ class RococoTMBackend(TMBackend):
         self._failures[tid] = 0
         self._txns.pop(tid, None)
         return ready
+
+    def _publish_validation(self, bus, tid: int, request, response) -> None:
+        """Publish one ``validate`` event with the full hw timing
+        breakdown — the raw material for the Perfetto pipeline lanes
+        and the validation-latency histograms (:mod:`repro.obs`).
+
+        ``detect_done_ns`` splits detector occupancy from the manager
+        cycles: it is derived from the pipeline's initiation interval
+        and clamped to ``finished_ns`` so software-failover responses
+        (whose service time is one serial block) stay well-formed.
+        """
+        occupancy = self.engine.occupancy_cycles(request)
+        detect_done = min(
+            response.finished_ns,
+            response.started_ns + self.engine.clock.cycles_to_ns(occupancy),
+        )
+        bus.emit(
+            SimEvent(
+                "validate",
+                tid,
+                response.ready_ns,
+                start=response.sent_ns,
+                data={
+                    "label": request.label,
+                    "sent_ns": response.sent_ns,
+                    "arrived_ns": response.arrived_ns,
+                    "started_ns": response.started_ns,
+                    "detect_done_ns": detect_done,
+                    "finished_ns": response.finished_ns,
+                    "ready_ns": response.ready_ns,
+                    "n_read": len(request.read_addrs),
+                    "n_write": len(request.write_addrs),
+                    "occupancy_cycles": occupancy,
+                    "committed": response.verdict.committed,
+                    "reason": response.verdict.reason,
+                    "window_resident": self.engine.manager.detector.resident,
+                    "mode": self.degradation.mode,
+                },
+            )
+        )
 
     def _mirror_phantom_slots(self, txn: _TxnState) -> None:
         """Realign GlobalTS with the engine after a failed validation.

@@ -230,6 +230,7 @@ class Simulator:
                             thread.clock,
                             label=txn.label,
                             attempt_index=txn.attempt,
+                            start=txn.attempt_start,
                         )
                     )
                 return

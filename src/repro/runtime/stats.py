@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field, fields
+from typing import Optional
 
 
 @dataclass
@@ -62,6 +63,11 @@ class RunStats:
     #: aborted transaction's window slot is mirrored as a ghost commit
     #: so CPU and engine snapshots stay aligned (docs/FAULTS.md).
     phantom_commits: int = 0
+    #: observability snapshot (:meth:`repro.obs.MetricsRegistry.
+    #: snapshot`) when the run was executed with ``obs`` enabled;
+    #: None otherwise.  A plain JSON dict so it crosses the exec
+    #: layer's process/cache transport unchanged.
+    metrics: Optional[dict] = None
 
     @property
     def aborts(self) -> int:

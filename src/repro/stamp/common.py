@@ -17,7 +17,7 @@ analysis of Fig. 10 relies on.
 from __future__ import annotations
 
 import random
-from typing import Generator, List, Optional, Type
+from typing import Callable, Generator, List, Optional, Type
 
 from ..runtime import CostModel, Memory, RunStats, Simulator, TMBackend
 
@@ -94,8 +94,14 @@ def run_stamp(
     seed: int = 0,
     cost_model: Optional[CostModel] = None,
     verify: bool = True,
+    instrument: Optional[Callable[[Simulator], None]] = None,
 ) -> RunStats:
-    """Build, run and verify one (application, backend, threads) cell."""
+    """Build, run and verify one (application, backend, threads) cell.
+
+    *instrument*, if given, is called with the built :class:`Simulator`
+    before the run starts — the observability hook (:mod:`repro.obs`)
+    for attaching tracers and metric collectors to ``simulator.bus``.
+    """
     memory = Memory()
     workload = workload_cls(memory, n_threads, scale=scale, seed=seed)
     simulator = Simulator(
@@ -106,6 +112,8 @@ def run_stamp(
         seed=seed,
         workload_name=workload.name,
     )
+    if instrument is not None:
+        instrument(simulator)
     stats = simulator.run([workload.program] * n_threads)
     if verify:
         workload.verify()

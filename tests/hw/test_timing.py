@@ -29,6 +29,33 @@ class TestClock:
         with pytest.raises(ValueError):
             clk.ns_to_cycles(-1.0)
 
+    @pytest.mark.parametrize(
+        "frequency_hz",
+        [200_000_000, 300_000_000, 333_000_000, 7_000_000, 999_999_937],
+    )
+    def test_roundtrip_exact_multiples_never_round_up(self, frequency_hz):
+        """ns_to_cycles(cycles_to_ns(k)) == k for every k, including
+        the large quotients where ``k / f`` carries float error bigger
+        than any fixed absolute epsilon (periods like 1e9/333e6 are
+        not exactly representable)."""
+        clk = ClockDomain(frequency_hz)
+        ks = list(range(2048)) + [10**5, 10**6, 10**7, 123_456_789, 10**9]
+        for k in ks:
+            assert clk.ns_to_cycles(clk.cycles_to_ns(k)) == k
+
+    @pytest.mark.parametrize("frequency_hz", [200_000_000, 333_000_000])
+    def test_align_up_is_idempotent(self, frequency_hz):
+        clk = ClockDomain(frequency_hz)
+        for k in (0, 1, 17, 4095, 10**6, 123_456_789):
+            edge = clk.align_up(clk.cycles_to_ns(k))
+            assert clk.align_up(edge) == edge
+
+    def test_ceiling_still_strict_above_the_edge(self):
+        clk = ClockDomain(200_000_000)
+        assert clk.ns_to_cycles(5.000001) == 2
+        assert clk.ns_to_cycles(4.999999) == 1
+        assert clk.ns_to_cycles(0.0) == 0
+
 
 class TestLink:
     def test_harp2_constants_match_paper(self):

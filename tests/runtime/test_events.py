@@ -56,6 +56,109 @@ class TestEventBus:
             event.kind = "abort"
 
 
+class TestUnsubscribe:
+    def test_removes_kind_subscriptions(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, kinds=("read", "write"))
+        bus.emit(SimEvent("read", 0, 1.0))
+        bus.unsubscribe(seen.append)
+        bus.emit(SimEvent("read", 0, 2.0))
+        assert len(seen) == 1
+
+    def test_removes_catch_all(self):
+        bus = EventBus()
+        seen = []
+        handler = seen.append
+        bus.subscribe(handler)
+        bus.unsubscribe(handler)
+        bus.emit(SimEvent("commit", 0, 1.0))
+        assert seen == []
+
+    def test_wants_reverts_after_detach(self):
+        # The emission fast path must return to its pre-subscription
+        # answer — a detached tracer leaves zero per-event residue.
+        bus = EventBus()
+        handler = lambda e: None  # noqa: E731
+        assert not bus.wants("read")
+        bus.subscribe(handler, kinds=("read",))
+        assert bus.wants("read")
+        bus.unsubscribe(handler)
+        assert not bus.wants("read")
+        assert bus._by_kind == {}
+
+    def test_removes_duplicate_registrations(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, kinds=("commit",))
+        bus.subscribe(seen.append, kinds=("commit",))
+        bus.emit(SimEvent("commit", 0, 1.0))
+        assert len(seen) == 2
+        bus.unsubscribe(seen.append)
+        bus.emit(SimEvent("commit", 0, 2.0))
+        assert len(seen) == 2
+
+    def test_unknown_handler_rejected(self):
+        bus = EventBus()
+        with pytest.raises(ValueError):
+            bus.unsubscribe(lambda e: None)
+
+    def test_other_subscribers_survive(self):
+        bus = EventBus()
+        first, second = [], []
+        bus.subscribe(first.append, kinds=("commit",))
+        bus.subscribe(second.append, kinds=("commit",))
+        bus.unsubscribe(first.append)
+        bus.emit(SimEvent("commit", 0, 1.0))
+        assert first == [] and len(second) == 1
+
+    def test_emission_cost_returns_to_baseline(self):
+        """After detach, a run constructs exactly as many events as a
+        never-subscribed run (the wants() guard skips hot-path kinds)."""
+        from repro.runtime import events as events_mod
+
+        constructed = []
+
+        class CountingEvent(SimEvent):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                constructed.append(self.kind)
+
+        def run_once(subscribe_then_detach):
+            memory = Memory()
+            addr = memory.alloc(1)
+
+            def program(tid):
+                def body():
+                    value = yield Read(addr)
+                    yield Write(addr, value + 1)
+                for _ in range(5):
+                    yield Transaction(body)
+                    yield Work(10.0)
+
+            sim = Simulator(TinySTMBackend(), 2, memory=memory, seed=7)
+            if subscribe_then_detach:
+                handler = lambda e: None  # noqa: E731
+                sim.bus.subscribe(handler, kinds=("read", "write", "step"))
+                sim.bus.unsubscribe(handler)
+            constructed.clear()
+            sim.run([program] * 2)
+            return list(constructed)
+
+        original = events_mod.SimEvent
+        import repro.runtime.simulator as sim_mod
+
+        sim_mod.SimEvent = CountingEvent
+        try:
+            baseline = run_once(subscribe_then_detach=False)
+            detached = run_once(subscribe_then_detach=True)
+        finally:
+            sim_mod.SimEvent = original
+        assert detached == baseline
+        # Only the always-on outcome events should have been built.
+        assert set(baseline) <= {"commit", "abort"}
+
+
 class TestStatsCollector:
     def test_accumulates_outcomes(self):
         stats = RunStats()

@@ -63,6 +63,118 @@ class TestCli:
             main([])
 
 
+class TestVersionAndExitCodes:
+    def test_version_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as bail:
+            main(["--version"])
+        assert bail.value.code == 0
+        from repro import __version__
+
+        assert __version__ in capsys.readouterr().out
+
+    def test_unknown_workload_in_trace_exits_one(self, capsys):
+        assert main(["trace", "not-a-workload", "ROCoCoTM"]) == 1
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_unknown_backend_in_trace_exits_one(self, capsys):
+        assert main(["trace", "vacation", "not-a-backend"]) == 1
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_faults_on_wrong_backend_exits_one(self, capsys):
+        assert main(["metrics", "kmeans", "TinySTM", "--faults", "mixed"]) == 1
+        assert "ROCoCoTM" in capsys.readouterr().err
+
+    def test_unwritable_out_path_exits_one(self, tmp_path, capsys):
+        out = tmp_path / "no" / "such" / "dir" / "t.json"
+        assert main(["trace", "ssca2", "ROCoCoTM", "--threads", "2",
+                     "--scale", "0.2", "--out", str(out)]) == 1
+        assert "repro: error" in capsys.readouterr().err
+
+    def test_runtime_errors_become_exit_one(self, capsys, monkeypatch):
+        import argparse
+
+        import repro.cli as cli_mod
+
+        def boom(args):
+            raise RuntimeError("kaput")
+
+        def stub_parser():
+            parser = argparse.ArgumentParser()
+            sub = parser.add_subparsers(required=True)
+            sub.add_parser("fig7").set_defaults(func=boom)
+            return parser
+
+        monkeypatch.setattr(cli_mod, "build_parser", stub_parser)
+        assert cli_mod.main(["fig7"]) == 1
+        assert "kaput" in capsys.readouterr().err
+
+
+class TestTraceCli:
+    def test_trace_normalizes_names(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        assert main(["trace", "stamp-vacation-low", "rococotm",
+                     "--out", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "spans" in captured
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["otherData"]["workload"] == "vacation"
+        assert payload["otherData"]["backend"] == "ROCoCoTM"
+
+    def test_trace_with_faults(self, tmp_path, capsys):
+        out = tmp_path / "chaos.json"
+        assert main(["trace", "kmeans", "ROCoCoTM", "--faults", "mixed",
+                     "--threads", "2", "--scale", "0.2",
+                     "--out", str(out)]) == 0
+        import json
+
+        payload = json.loads(out.read_text())
+        faults = [
+            e for e in payload["traceEvents"]
+            if e["ph"] == "i" and e["name"].startswith("fault:")
+        ]
+        assert faults
+
+
+class TestMetricsCli:
+    def test_metrics_table(self, capsys):
+        assert main(["metrics", "ssca2", "ROCoCoTM", "--threads", "2",
+                     "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "txn.commits" in out and "hw.validations" in out
+
+    def test_metrics_json(self, capsys):
+        import json
+
+        assert main(["metrics", "ssca2", "ROCoCoTM", "--threads", "2",
+                     "--scale", "0.2", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+
+    def test_metrics_out_file(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "metrics.json"
+        assert main(["metrics", "ssca2", "ROCoCoTM", "--threads", "2",
+                     "--scale", "0.2", "--out", str(out)]) == 0
+        snapshot = json.loads(out.read_text())
+        assert snapshot["counters"]["txn.commits"] > 0
+
+
+class TestFig10Obs:
+    def test_obs_metrics_land_in_stamp_json(self, tmp_path, capsys):
+        import json
+
+        stamp = tmp_path / "BENCH_stamp.json"
+        assert main(["fig10", "--scale", "0.2", "--threads", "1", "2",
+                     "--workloads", "ssca2", "--obs",
+                     "--stamp-json", str(stamp)]) == 0
+        payload = json.loads(stamp.read_text())
+        assert payload["metrics"]["merged"]["counters"]["txn.commits"] > 0
+        assert len(payload["metrics"]["cells"]) == payload["n_specs"]
+
+
 class TestSanitizeCli:
     def test_clean_workload_exits_zero(self, capsys):
         assert main(["sanitize", "ssca2", "ROCoCoTM", "--threads", "4",
