@@ -1,0 +1,260 @@
+"""The analyzer driver: pass registry, rule selection, caching.
+
+``analyze_source`` runs the selected passes over one file (syntax
+errors become ``TM000`` findings rather than exceptions, so one broken
+file cannot hide findings in the rest of the tree).  Inline
+suppressions (:func:`repro.analysis.findings.is_suppressed`) are
+applied here, before findings ever leave the framework; the baseline
+(:func:`apply_baseline`) is applied by the caller because it is a
+repo-level artifact, not a per-file one.
+
+``analyze_paths_cached`` memoizes a whole run keyed on the repo source
+fingerprint (:func:`repro.exec.cache.code_fingerprint` — the same
+sha-256 the experiment cache uses), the analyzed path set, and the
+rule selection.  A warm CI run therefore skips the AST+symtable walk
+entirely.  The cache is only consulted when every analyzed path lies
+inside the ``repro`` package, because the fingerprint covers exactly
+that tree; analyzing anything else silently bypasses the cache rather
+than risking staleness.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .findings import Baseline, Finding, is_suppressed
+from .passes import ALL_PASSES
+
+#: every rule the analyzer can report, in catalogue order.
+RULE_IDS = ("TM000",) + tuple(rule for rule, _ in ALL_PASSES)
+
+CACHE_VERSION = 1
+
+_RULE_RE = re.compile(r"^TM(\d+)$")
+
+#: the repro package root — the tree code_fingerprint() covers.
+_PACKAGE_ROOT = Path(__file__).resolve().parents[1]
+
+
+@dataclass(frozen=True)
+class PassContext:
+    """Per-file context handed to every pass."""
+
+    source: str
+    lines: Sequence[str]
+
+
+def parse_rules(spec: Optional[str]) -> Optional[Set[str]]:
+    """A rule selection from CLI syntax: ``TM101``, ``TM001-TM004``,
+    comma-combinations thereof, or ``all``/None for everything."""
+    if spec is None or spec.strip() in ("", "all"):
+        return None
+    numbers = {rule: int(_RULE_RE.match(rule).group(1)) for rule in RULE_IDS}
+    selected: Set[str] = set()
+    for part in spec.split(","):
+        part = part.strip().upper()
+        if not part:
+            continue
+        if "-" in part:
+            lo_text, hi_text = part.split("-", 1)
+            lo = _RULE_RE.match(lo_text.strip())
+            hi = _RULE_RE.match(hi_text.strip())
+            if lo is None or hi is None:
+                raise ValueError(f"bad rule range {part!r} (want TMnnn-TMnnn)")
+            lo_n, hi_n = int(lo.group(1)), int(hi.group(1))
+            matched = {r for r, n in numbers.items() if lo_n <= n <= hi_n}
+            if not matched:
+                raise ValueError(f"rule range {part!r} matches no known rule")
+            selected.update(matched)
+        elif part in numbers:
+            selected.add(part)
+        else:
+            raise ValueError(
+                f"unknown rule {part!r} (known: {', '.join(RULE_IDS)})"
+            )
+    return selected
+
+
+# ----------------------------------------------------------------------
+# Core drivers
+# ----------------------------------------------------------------------
+def analyze_source(
+    source: str, path: str, rules: Optional[Set[str]] = None
+) -> List[Finding]:
+    """Run the selected passes over one file's source text.
+
+    *path* drives directory-scoped rules (it need not exist on disk).
+    Inline suppressions are already applied; the result is sorted by
+    location.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as err:
+        return [
+            Finding(path, err.lineno or 0, err.offset or 0, "TM000",
+                    f"syntax error: {err.msg}")
+        ]
+    lines = source.splitlines()
+    ctx = PassContext(source=source, lines=lines)
+    findings: List[Finding] = []
+    for rule, check in ALL_PASSES:
+        if rules is not None and rule not in rules:
+            continue
+        for finding in check(tree, path, ctx):
+            if not is_suppressed(finding, lines):
+                findings.append(finding)
+    return sorted(findings, key=lambda f: f.sort_key)
+
+
+def iter_python_files(paths: Sequence) -> Iterable[Path]:
+    """The ``*.py`` files named by *paths* (files and/or directory
+    trees), in sorted order per entry."""
+    for entry in paths:
+        entry = Path(entry)
+        if not entry.exists():
+            raise FileNotFoundError(
+                f"analyze: no such file or directory: {entry}"
+            )
+        if entry.is_dir():
+            yield from sorted(entry.rglob("*.py"))
+        else:
+            yield entry
+
+
+def analyze_paths(
+    paths: Sequence, rules: Optional[Set[str]] = None
+) -> Tuple[List[Finding], int]:
+    """Analyze files/trees; returns (findings, files analyzed)."""
+    findings: List[Finding] = []
+    count = 0
+    for file in iter_python_files(paths):
+        findings.extend(analyze_source(file.read_text(), str(file), rules))
+        count += 1
+    return findings, count
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Optional[Baseline]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split *findings* into (new, baselined) against *baseline*.
+
+    Re-reads just the files that have findings to recover the source
+    context lines the baseline matches on.
+    """
+    if baseline is None:
+        return list(findings), []
+    sources: Dict[str, Sequence[str]] = {}
+    for path in {f.path for f in findings}:
+        try:
+            sources[path] = Path(path).read_text().splitlines()
+        except OSError:
+            sources[path] = ()
+    return baseline.filter(list(findings), sources)
+
+
+def baseline_from(
+    findings: Sequence[Finding]
+) -> Baseline:
+    """A baseline tolerating exactly *findings* (for --update-baseline)."""
+    sources: Dict[str, Sequence[str]] = {}
+    for path in {f.path for f in findings}:
+        try:
+            sources[path] = Path(path).read_text().splitlines()
+        except OSError:
+            sources[path] = ()
+    return Baseline.from_findings(list(findings), sources)
+
+
+# ----------------------------------------------------------------------
+# Fingerprint-keyed result cache
+# ----------------------------------------------------------------------
+def _within(path: Path, root: Path) -> bool:
+    try:
+        path.relative_to(root)
+    except ValueError:
+        return False
+    return True
+
+
+def _cache_key(paths: Sequence, rules: Optional[Set[str]]) -> Optional[str]:
+    """The cache key for this run, or None when caching is unsound
+    (some analyzed path is outside the fingerprinted package tree)."""
+    resolved = []
+    for entry in paths:
+        entry = Path(entry).resolve()
+        if not _within(entry, _PACKAGE_ROOT):
+            # An ancestor of the package root (e.g. ``src``) is still
+            # sound iff it contributes no .py files outside the
+            # fingerprinted tree.
+            if not _within(_PACKAGE_ROOT, entry) or any(
+                not _within(f, _PACKAGE_ROOT) for f in entry.rglob("*.py")
+            ):
+                return None
+        resolved.append(str(entry))
+    # Imported lazily: exec -> runner -> runtime -> events imports the
+    # (dependency-free) registry from this package; a module-level
+    # import here would close that cycle during interpreter startup.
+    from repro.exec.cache import code_fingerprint
+
+    material = json.dumps(
+        {
+            "version": CACHE_VERSION,
+            "fingerprint": code_fingerprint(refresh=True),
+            "paths": sorted(resolved),
+            "rules": sorted(rules) if rules is not None else "all",
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def analyze_paths_cached(
+    paths: Sequence,
+    rules: Optional[Set[str]] = None,
+    cache_path=None,
+) -> Tuple[List[Finding], int, bool]:
+    """Like :func:`analyze_paths`, memoized at *cache_path*.
+
+    Returns (findings, files, cache_hit).  Without *cache_path* — or
+    when the path set extends beyond the repro package — this is just
+    ``analyze_paths``.
+    """
+    key = _cache_key(paths, rules) if cache_path is not None else None
+    if key is not None:
+        cached = _load_cache(Path(cache_path), key)
+        if cached is not None:
+            return cached[0], cached[1], True
+    findings, count = analyze_paths(paths, rules)
+    if key is not None:
+        _store_cache(Path(cache_path), key, findings, count)
+    return findings, count, False
+
+
+def _load_cache(path: Path, key: str):
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if payload.get("version") != CACHE_VERSION or payload.get("key") != key:
+        return None
+    findings = [Finding(**entry) for entry in payload.get("findings", ())]
+    return findings, int(payload.get("files", 0))
+
+
+def _store_cache(path: Path, key: str, findings: Sequence[Finding], files: int) -> None:
+    payload = {
+        "version": CACHE_VERSION,
+        "key": key,
+        "files": files,
+        "findings": [f.to_dict() for f in findings],
+    }
+    try:
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    except OSError:
+        pass  # a cold cache next run, not an analysis failure

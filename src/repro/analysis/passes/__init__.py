@@ -1,0 +1,18 @@
+"""The analysis passes, in rule-id order.
+
+Each pass module exports ``PASSES``: a tuple of ``(rule_id, check)``
+pairs where ``check(tree, path, ctx)`` yields
+:class:`repro.analysis.findings.Finding` objects.  The framework runs
+them in this order and sorts findings by location afterwards, so
+inter-pass ordering only affects tie-breaks.
+"""
+
+from __future__ import annotations
+
+from . import determinism, effects, legacy, schema
+
+ALL_PASSES = (
+    legacy.PASSES + determinism.PASSES + schema.PASSES + effects.PASSES
+)
+
+__all__ = ["ALL_PASSES", "determinism", "effects", "legacy", "schema"]

@@ -1,0 +1,104 @@
+"""Shared AST utilities for the analysis passes."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Optional, Set
+
+
+def path_parts(path: str) -> Set[str]:
+    """The path's components, for directory-scoped rules."""
+    return set(Path(path).parts)
+
+
+def const_str(node: ast.AST) -> Optional[str]:
+    """The value of a string-constant node, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def string_elements(node: ast.AST) -> List[str]:
+    """Constant string elements of a tuple/list/set literal."""
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return [
+            e.value
+            for e in node.elts
+            if isinstance(e, ast.Constant) and isinstance(e.value, str)
+        ]
+    return []
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The called name: ``f(...)`` -> ``f``, ``a.b.f(...)`` -> ``f``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def receiver_name(node: ast.Call) -> Optional[str]:
+    """The terminal receiver name of a method call: ``a.b.f()`` -> ``b``,
+    ``reg.count()`` -> ``reg``, ``f()`` -> None."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    return None
+
+
+def attr_root(node: ast.AST) -> Optional[str]:
+    """The attribute name X for any target rooted at ``self.X``."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        inner = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(inner, ast.Name)
+            and inner.id == "self"
+        ):
+            return node.attr
+        node = inner
+    return None
+
+
+def fstring_prefix(node: ast.JoinedStr) -> Optional[str]:
+    """The leading constant prefix of an f-string, if it ends right
+    before the first interpolation: ``f"txn.aborts.{c}"`` ->
+    ``"txn.aborts."``; a fully constant or leading-interpolation
+    f-string returns None."""
+    if not node.values:
+        return None
+    head = node.values[0]
+    prefix = const_str(head)
+    if prefix is None:
+        return None
+    if len(node.values) < 2 or not isinstance(node.values[1], ast.FormattedValue):
+        return None
+    return prefix
+
+
+def functions_of(tree: ast.AST) -> Iterator[ast.AST]:
+    """Every function/method definition in *tree* (incl. nested)."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def walk_body(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a statement's body without descending into nested
+    function/class definitions (their scope is analyzed separately)."""
+    todo = list(ast.iter_child_nodes(node))
+    while todo:
+        child = todo.pop()
+        yield child
+        if not isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            todo.extend(ast.iter_child_nodes(child))

@@ -1,0 +1,463 @@
+"""TM101/TM102: repo-wide determinism checking.
+
+The whole reproduction rests on bit-identical replay: the parallel
+runners compare shard output against serial runs byte-for-byte, the
+sanitizer replays recorded executions, and the result cache keys on
+content hashes (DESIGN.md, docs/EXECUTION.md).  Two pass families
+guard that property statically:
+
+``TM101`` **ambient entropy / wall clock (repo-wide)** — extends
+    TM001 beyond the validator directories: module-level ``random``
+    use, ``time``/``datetime`` reads, ``os.urandom``, ``secrets``,
+    clock/entropy-based ``uuid`` constructors, and ``id()``-based
+    ordering (``sorted(key=id)``) anywhere under ``src/repro``.
+    Files TM001 already governs are skipped for the module checks so
+    a violation is reported exactly once.  Wall-clock reads that are
+    deliberate (CLI wall-time reporting, stamp provenance timestamps)
+    carry documented inline suppressions.
+
+``TM102`` **unordered-collection order leak** — iterating a ``set``/
+    ``frozenset`` yields a hash-randomized order (PYTHONHASHSEED),
+    which is *not* stable across processes.  That is harmless when
+    the consumption is order-insensitive (building another set,
+    ``sum``/``min``/``max``/``len``, relation insertion) and a replay
+    bug when the order reaches an ordered protocol surface: a
+    published event stream, a metrics registry, a ``Memory.store``
+    sequence, a list/join used in a cache key.  The pass infers
+    set-valued bindings per scope (literals, ``set()``/``frozenset()``
+    constructors, set operators, set-typed ``self`` attributes) and
+    flags: ``for`` loops over them whose body hits an ordered sink,
+    list comprehensions over them, direct ``list()``/``tuple()``
+    materialization, and ``str.join`` over them — unless the iterable
+    is wrapped in ``sorted(...)``.  Worklist appends (a list that the
+    same scope also ``pop()``s) are exempt: a drained stack imposes no
+    order on anything that outlives the loop.
+"""
+
+from __future__ import annotations
+
+import ast
+import symtable
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..findings import Finding
+from .common import path_parts, walk_body
+from .legacy import DETERMINISM_SCOPE
+
+#: modules whose very import is an entropy/wall-clock smell.
+_BANNED_WALL = ("time", "datetime")
+_BANNED_ENTROPY = ("secrets",)
+#: uuid constructors that read the clock (uuid1) or urandom (uuid4);
+#: uuid3/uuid5 are content-hashes and deterministic.
+_NONDET_UUID = {"uuid1", "uuid4"}
+
+_SET_CONSTRUCTORS = {"set", "frozenset"}
+_SET_METHODS = {
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+}
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+#: calls whose consumption of an unordered iterable is order-free.
+_ORDER_FREE_CALLS = {
+    "sorted", "len", "sum", "min", "max", "any", "all", "set", "frozenset",
+    "Counter",
+}
+#: method calls inside a loop body that serialize iteration order
+#: into the observation protocol (events, metrics, memory, caches).
+_ORDERED_SINK_METHODS = {
+    "emit", "publish", "count", "observe", "gauge", "store", "store_many",
+    "append", "appendleft", "write",
+}
+_ORDERED_SINK_CALLS = {"content_hash", "print"}
+
+
+def _module_imports(source: str, path: str) -> Set[str]:
+    """Module-level names bound by imports, via ``symtable`` — so a
+    local variable that merely *shadows* ``time`` never trips TM101."""
+    try:
+        table = symtable.symtable(source, path, "exec")
+    except SyntaxError:  # framework reports TM000 separately
+        return set()
+    return {
+        symbol.get_name()
+        for symbol in table.get_symbols()
+        if symbol.is_imported()
+    }
+
+
+def _local_shadows(tree: ast.Module, names: Set[str]) -> Dict[str, Set[int]]:
+    """For each watched name, the set of function nodes (by id) that
+    rebind it locally — uses within those scopes are not module reads."""
+    shadows: Dict[str, Set[int]] = {name: set() for name in names}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        args = node.args
+        bound = {
+            a.arg
+            for a in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            )
+        }
+        if args.vararg:
+            bound.add(args.vararg.arg)
+        if args.kwarg:
+            bound.add(args.kwarg.arg)
+        if not isinstance(node, ast.Lambda):
+            for child in ast.walk(node):
+                if isinstance(child, ast.Assign):
+                    for target in child.targets:
+                        if isinstance(target, ast.Name):
+                            bound.add(target.id)
+        for name in bound & names:
+            for child in ast.walk(node):
+                shadows[name].add(id(child))
+    return shadows
+
+
+# ----------------------------------------------------------------------
+# TM101 — ambient entropy / wall clock, repo-wide
+# ----------------------------------------------------------------------
+def check_ambient_entropy(tree: ast.Module, path: str, ctx) -> Iterable[Finding]:
+    in_tm001_scope = bool(path_parts(path) & DETERMINISM_SCOPE)
+    imported = _module_imports(ctx.source, path)
+    watched = (set(_BANNED_WALL) | {"random", "os", "uuid"}) & imported
+    shadows = _local_shadows(tree, watched)
+
+    def is_module_read(node: ast.Attribute) -> Optional[str]:
+        value = node.value
+        if not isinstance(value, ast.Name):
+            return None
+        name = value.id
+        if name not in imported or id(node) in shadows.get(name, ()):
+            return None
+        return name
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _BANNED_ENTROPY:
+                    yield Finding(
+                        path, node.lineno, node.col_offset, "TM101",
+                        f"module '{alias.name}' is cryptographic entropy; "
+                        "replay can never reproduce it — inject a "
+                        "random.Random(seed)",
+                    )
+                elif root in _BANNED_WALL and not in_tm001_scope:
+                    yield Finding(
+                        path, node.lineno, node.col_offset, "TM101",
+                        f"module '{alias.name}' reads the wall clock; "
+                        "simulated time is the only clock replay can "
+                        "reproduce (suppress only for run provenance)",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            if root in _BANNED_ENTROPY:
+                yield Finding(
+                    path, node.lineno, node.col_offset, "TM101",
+                    f"import from '{node.module}' is cryptographic entropy "
+                    "(determinism)",
+                )
+            elif root in _BANNED_WALL and not in_tm001_scope:
+                yield Finding(
+                    path, node.lineno, node.col_offset, "TM101",
+                    f"import from '{node.module}' reads the wall clock "
+                    "(determinism; suppress only for run provenance)",
+                )
+            elif root == "random" and not in_tm001_scope:
+                for alias in node.names:
+                    if alias.name != "Random":
+                        yield Finding(
+                            path, node.lineno, node.col_offset, "TM101",
+                            f"'from random import {alias.name}' uses the "
+                            "ambient global RNG; inject a "
+                            "random.Random(seed) instead",
+                        )
+        elif isinstance(node, ast.Attribute):
+            module = is_module_read(node)
+            if module is None:
+                continue
+            if module == "os" and node.attr == "urandom":
+                yield Finding(
+                    path, node.lineno, node.col_offset, "TM101",
+                    "'os.urandom' is kernel entropy; replay can never "
+                    "reproduce it — inject a random.Random(seed)",
+                )
+            elif module == "uuid" and node.attr in _NONDET_UUID:
+                yield Finding(
+                    path, node.lineno, node.col_offset, "TM101",
+                    f"'uuid.{node.attr}' draws from the clock/urandom; "
+                    "mint deterministic ids from run state instead",
+                )
+            elif in_tm001_scope:
+                continue  # TM001 owns the module checks below here
+            elif module == "random" and node.attr != "Random":
+                yield Finding(
+                    path, node.lineno, node.col_offset, "TM101",
+                    f"module-level 'random.{node.attr}' breaks replay "
+                    "determinism; use an injected random.Random(seed)",
+                )
+            elif module in _BANNED_WALL:
+                yield Finding(
+                    path, node.lineno, node.col_offset, "TM101",
+                    f"'{module}.{node.attr}' reads the wall clock; results "
+                    "must be functions of (spec, seed) only (suppress only "
+                    "for run provenance)",
+                )
+        elif isinstance(node, ast.Call):
+            yield from _check_id_ordering(node, path)
+
+
+def _check_id_ordering(call: ast.Call, path: str) -> Iterable[Finding]:
+    """``sorted(xs, key=id)`` and friends: CPython addresses vary run
+    to run, so id-keyed order is pure nondeterminism."""
+    for kw in call.keywords:
+        if kw.arg != "key":
+            continue
+        key = kw.value
+        id_keyed = isinstance(key, ast.Name) and key.id == "id"
+        if not id_keyed and isinstance(key, ast.Lambda):
+            id_keyed = any(
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Name)
+                and inner.func.id == "id"
+                for inner in ast.walk(key.body)
+            )
+        if id_keyed:
+            yield Finding(
+                path, call.lineno, call.col_offset, "TM101",
+                "ordering by id() depends on allocation addresses, which "
+                "differ between runs; key on a stable field instead",
+            )
+
+
+# ----------------------------------------------------------------------
+# TM102 — unordered-collection iteration leaking into ordered sinks
+# ----------------------------------------------------------------------
+class _SetScope:
+    """Set-valued binding inference for one function (or module) scope."""
+
+    def __init__(self, names: Set[str], self_attrs: Set[str]):
+        self.names = names
+        self.self_attrs = self_attrs
+
+    def is_set_valued(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Attribute):
+            return (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in self.self_attrs
+            )
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return self.is_set_valued(node.left) or self.is_set_valued(node.right)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _SET_CONSTRUCTORS:
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_METHODS
+                and self.is_set_valued(func.value)
+            ):
+                return True
+        return False
+
+
+def _class_set_attrs(tree: ast.Module) -> Dict[int, Set[str]]:
+    """Per-class (by node id): ``self`` attributes ever bound to a
+    set-valued expression anywhere in the class body."""
+    empty = _SetScope(set(), set())
+    attrs: Dict[int, Set[str]] = {}
+    for cls in (n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)):
+        found: Set[str] = set()
+        for node in ast.walk(cls):
+            value = None
+            targets = []
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, [node.target]
+            if value is None or not empty.is_set_valued(value):
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    found.add(target.attr)
+        attrs[id(cls)] = found
+    return attrs
+
+
+def _scope_names(scope_node: ast.AST) -> Set[str]:
+    """Names bound to set-valued expressions within one scope (no
+    descent into nested defs; a rebinding to non-set is not tracked —
+    the pass prefers false positives surfaced and judged over silent
+    misses, and rebindings of set-typed locals don't occur here)."""
+    names: Set[str] = set()
+    probe = _SetScope(names, set())
+    # iterate to a fixpoint so `a = set(); b = a | other` resolves.
+    changed = True
+    while changed:
+        changed = False
+        for node in walk_body(scope_node):
+            value = None
+            targets = []
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, [node.target]
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, _SET_OPS):
+                value, targets = node.value, [node.target]
+            if value is None or not probe.is_set_valued(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id not in names:
+                    names.add(target.id)
+                    changed = True
+    return names
+
+
+def _enclosing_class_attrs(
+    tree: ast.Module, class_attrs: Dict[int, Set[str]]
+) -> Dict[int, Set[str]]:
+    """Map each function node (by id) to its class's set-valued attrs."""
+    owner: Dict[int, Set[str]] = {}
+    for cls in (n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)):
+        for item in cls.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                owner[id(item)] = class_attrs[id(cls)]
+    return owner
+
+
+def check_unordered_iteration(tree: ast.Module, path: str, ctx) -> Iterable[Finding]:
+    class_attrs = _class_set_attrs(tree)
+    method_attrs = _enclosing_class_attrs(tree, class_attrs)
+
+    scopes: List[ast.AST] = [tree]
+    scopes.extend(
+        n
+        for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    for scope_node in scopes:
+        scope = _SetScope(
+            _scope_names(scope_node), method_attrs.get(id(scope_node), set())
+        )
+        # Comprehension/materialization args of order-free callables
+        # (sorted(...), sum(...)) are blessed: their order never
+        # escapes.
+        blessed: Set[int] = set()
+        for node in walk_body(scope_node):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_FREE_CALLS
+            ):
+                for arg in node.args:
+                    blessed.add(id(arg))
+
+        # A list that the same scope pop()s is a worklist: appends to
+        # it drain within the algorithm and impose no external order.
+        worklists = {
+            recv
+            for node in walk_body(scope_node)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("pop", "popleft")
+            and isinstance(node.func.value, ast.Name)
+            for recv in (node.func.value.id,)
+        }
+
+        for node in walk_body(scope_node):
+            if isinstance(node, ast.For):
+                yield from _check_for_loop(node, scope, worklists, path)
+            elif isinstance(node, ast.ListComp):
+                if id(node) in blessed:
+                    continue
+                if scope.is_set_valued(node.generators[0].iter):
+                    yield Finding(
+                        path, node.lineno, node.col_offset, "TM102",
+                        "list comprehension over a set freezes a "
+                        "hash-randomized order into an ordered structure; "
+                        "iterate sorted(...) instead",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from _check_materialize(node, scope, path)
+
+
+def _check_for_loop(
+    node: ast.For, scope: _SetScope, worklists: Set[str], path: str
+) -> Iterable[Finding]:
+    if not scope.is_set_valued(node.iter):
+        return
+    sink = _ordered_sink(node, worklists)
+    if sink is None:
+        return
+    yield Finding(
+        path, node.iter.lineno, node.iter.col_offset, "TM102",
+        "iterating a set in hash order, but the loop body reaches the "
+        f"ordered sink '{sink}' (events/metrics/stores are replay-"
+        "compared in order); iterate sorted(...) instead",
+    )
+
+
+def _ordered_sink(loop: ast.For, worklists: Set[str]) -> Optional[str]:
+    for node in walk_body(loop):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return "yield"
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _ORDERED_SINK_METHODS:
+            if (
+                func.attr in ("append", "appendleft")
+                and isinstance(func.value, ast.Name)
+                and func.value.id in worklists
+            ):
+                continue
+            return func.attr
+        if isinstance(func, ast.Name) and func.id in _ORDERED_SINK_CALLS:
+            return func.id
+        if isinstance(func, ast.Attribute) and func.attr in _ORDERED_SINK_CALLS:
+            return func.attr
+    return None
+
+
+def _check_materialize(
+    node: ast.Call, scope: _SetScope, path: str
+) -> Iterable[Finding]:
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in ("list", "tuple") and node.args:
+        arg = node.args[0]
+        if scope.is_set_valued(arg) or (
+            isinstance(arg, ast.GeneratorExp)
+            and scope.is_set_valued(arg.generators[0].iter)
+        ):
+            yield Finding(
+                path, node.lineno, node.col_offset, "TM102",
+                f"{func.id}() over a set freezes a hash-randomized order; "
+                "use sorted(...) to fix the sequence",
+            )
+    elif isinstance(func, ast.Attribute) and func.attr == "join" and node.args:
+        arg = node.args[0]
+        if scope.is_set_valued(arg) or (
+            isinstance(arg, ast.GeneratorExp)
+            and scope.is_set_valued(arg.generators[0].iter)
+        ):
+            yield Finding(
+                path, node.lineno, node.col_offset, "TM102",
+                "joining a set concatenates in hash order — unstable "
+                "across processes (cache keys, reports); sort first",
+            )
+
+
+PASSES = (
+    ("TM101", check_ambient_entropy),
+    ("TM102", check_unordered_iteration),
+)

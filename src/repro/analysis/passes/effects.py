@@ -1,0 +1,104 @@
+"""TM105/TM106: memory effect discipline across the backends.
+
+The simulator's correctness oracles (the sanitizer's opacity checker,
+SI-MVCC's version chains) reconstruct memory history from *observed*
+stores: :meth:`repro.runtime.memory.Memory.store` notifies every
+subscribed observer.  Two static contracts keep that reconstruction
+sound:
+
+``TM105`` **observer bypass** — nothing outside ``runtime/memory.py``
+    may touch ``Memory``'s internals (``_cells``, ``_brk``,
+    ``_observers``).  A direct ``mem._cells[addr] = v`` is a store no
+    observer sees; a direct ``_brk`` poke corrupts the bump allocator;
+    reaching into ``_observers`` subverts subscription semantics.
+
+``TM106`` **read-path purity** — in a backend class, no method
+    reachable from ``read`` through ``self.x()`` calls may call
+    ``memory.store``/``store_many``.  A store on the read path makes
+    reads *observable effects*: replaying a recorded execution would
+    double-apply them, and the opacity checker would attribute
+    phantom writes to read-only transactions.  (Write-through designs
+    like TinySTM's encounter-time locking store from ``write`` — the
+    write path is free to store; only the read path must be pure.)
+
+Both rules use syntactic receiver conventions — ``memory``/``mem``
+names for the heap — which is exactly how every call site in the repo
+spells it; an adversarial alias defeats the checker, but the goal is
+catching mistakes, not malice.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from ..findings import Finding
+from .common import receiver_name
+from .legacy import is_backend_class, reachable_methods
+
+#: Memory's private internals; only runtime/memory.py may name them.
+MEMORY_INTERNALS = {"_cells", "_brk", "_observers"}
+#: names the repo uses for the simulated heap.
+_MEMORY_NAMES = {"memory", "mem", "_memory", "_mem", "heap"}
+_STORE_METHODS = {"store", "store_many"}
+
+
+def _is_memory_module(path: str) -> bool:
+    return path.replace("\\", "/").endswith("runtime/memory.py")
+
+
+# ----------------------------------------------------------------------
+# TM105 — Memory internals are private to runtime/memory.py
+# ----------------------------------------------------------------------
+def check_memory_internals(tree: ast.Module, path: str, ctx) -> Iterable[Finding]:
+    if _is_memory_module(path):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and node.attr in MEMORY_INTERNALS:
+            yield Finding(
+                path, node.lineno, node.col_offset, "TM105",
+                f"access to Memory internal '{node.attr}' outside "
+                "runtime/memory.py bypasses the store-observer protocol; "
+                "go through load()/store()/alloc()",
+            )
+
+
+# ----------------------------------------------------------------------
+# TM106 — no stores reachable from a backend's read path
+# ----------------------------------------------------------------------
+def check_read_path_stores(tree: ast.Module, path: str, ctx) -> Iterable[Finding]:
+    for cls in (n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)):
+        if not is_backend_class(cls):
+            continue
+        methods = {
+            m.name: m for m in cls.body if isinstance(m, ast.FunctionDef)
+        }
+        for name in sorted(reachable_methods(methods, ("read",))):
+            for node in ast.walk(methods[name]):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _STORE_METHODS
+                    and _memory_receiver(node)
+                ):
+                    yield Finding(
+                        path, node.lineno, node.col_offset, "TM106",
+                        f"{cls.name}.{name} is reachable from read() and "
+                        f"calls memory.{func.attr}: the read path must not "
+                        "mutate main memory (replay would double-apply the "
+                        "store and opacity checking would see phantom "
+                        "writes); buffer the value and install it at commit",
+                    )
+
+
+def _memory_receiver(node: ast.Call) -> bool:
+    name = receiver_name(node)
+    return name is not None and name in _MEMORY_NAMES
+
+
+PASSES = (
+    ("TM105", check_memory_internals),
+    ("TM106", check_read_path_stores),
+)

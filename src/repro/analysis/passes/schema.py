@@ -1,0 +1,284 @@
+"""TM103/TM104: event and metric names checked against the registry.
+
+The bus and the metrics registry are stringly typed by design — the
+hot path cannot afford enum objects — which means a typo'd kind or
+metric name fails *silently*: ``wants("valdiate")`` is permanently
+False, ``reg.count("txn.comits")`` mints an orphan counter.  These
+passes close that hole statically, against the same
+:mod:`repro.analysis.registry` tables the runtime asserts on under
+``__debug__`` (:meth:`repro.runtime.events.EventBus.emit`).
+
+``TM103`` **event schema** — checks, wherever a constant appears:
+
+* ``SimEvent("<kind>", ...)`` constructions: the kind must be
+  declared; a literal ``data={...}`` payload must carry exactly the
+  declared fields for that kind, and kinds without a declared payload
+  must not pass one;
+* ``bus.subscribe(fn, kinds=...)`` and ``bus.wants("<kind>")``;
+* ``KINDS``-suffixed tuple constants (``KINDS``, ``_KINDS``,
+  ``BASE_KINDS``...) — the idiom subscribers use for their kind sets;
+* ``event.data["<field>"]`` / ``data = event.data; data["<field>"]``
+  consumer reads: the field must be declared in *some* event payload.
+
+``TM104`` **metric schema** — recognizes registry calls by receiver
+naming convention (``reg``/``registry``/``metrics``, or any
+``*.registry`` attribute — the idiom every call site in the repo
+already follows) and checks ``count``/``gauge``/``observe``/
+``histogram`` names: constant names must be declared with the same
+instrument; f-string names must extend a declared dynamic family
+(``f"txn.aborts.{cause}"`` -> family ``txn.aborts.``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Set
+
+from .. import registry
+from ..findings import Finding
+from .common import const_str, fstring_prefix, string_elements, walk_body
+
+#: receiver spellings that mark a MetricsRegistry call site.
+_METRIC_RECEIVERS = {"reg", "registry", "metrics", "_registry", "_metrics"}
+_METRIC_METHODS = {
+    "count": registry.COUNTER,
+    "gauge": registry.GAUGE,
+    "observe": registry.HISTOGRAM,
+    "histogram": registry.HISTOGRAM,
+}
+#: names that hold an event in subscriber/handler code.
+_EVENT_VARS = {"event", "ev", "evt"}
+
+
+# ----------------------------------------------------------------------
+# TM103 — event kinds and payload fields
+# ----------------------------------------------------------------------
+def check_event_schema(tree: ast.Module, path: str, ctx) -> Iterable[Finding]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield from _check_simevent_call(node, path)
+            yield from _check_bus_call(node, path)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            yield from _check_kinds_constant(node, path)
+    yield from _check_payload_reads(tree, path)
+
+
+def _check_simevent_call(node: ast.Call, path: str) -> Iterable[Finding]:
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+    if name != "SimEvent":
+        return
+    kind = None
+    if node.args:
+        kind = const_str(node.args[0])
+    for kw in node.keywords:
+        if kw.arg == "kind":
+            kind = const_str(kw.value)
+    if kind is None:
+        return  # dynamic kind: the runtime assert still covers it
+    schema = registry.EVENT_SCHEMAS.get(kind)
+    if schema is None:
+        yield Finding(
+            path, node.lineno, node.col_offset, "TM103",
+            f"undeclared event kind {kind!r}; declare it in "
+            "repro.analysis.registry.EVENT_SCHEMAS",
+        )
+        return
+    for kw in node.keywords:
+        if kw.arg != "data" or not isinstance(kw.value, ast.Dict):
+            continue
+        keys: Set[str] = set()
+        literal = True
+        for key in kw.value.keys:
+            value = const_str(key) if key is not None else None
+            if value is None:
+                literal = False  # **spread or computed key: runtime's job
+            else:
+                keys.add(value)
+        if not literal:
+            continue
+        problem = registry.check_event(kind, keys)
+        if problem is not None:
+            yield Finding(
+                path, kw.value.lineno, kw.value.col_offset, "TM103", problem
+            )
+
+
+def _check_bus_call(node: ast.Call, path: str) -> Iterable[Finding]:
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return
+    if func.attr == "wants" and node.args:
+        kind = const_str(node.args[0])
+        if kind is not None and kind not in registry.EVENT_SCHEMAS:
+            yield Finding(
+                path, node.lineno, node.col_offset, "TM103",
+                f"wants({kind!r}): undeclared event kind — this guard is "
+                "always False",
+            )
+    elif func.attr == "subscribe":
+        for kw in node.keywords:
+            if kw.arg != "kinds":
+                continue
+            for kind in string_elements(kw.value):
+                if kind not in registry.EVENT_SCHEMAS:
+                    yield Finding(
+                        path, kw.value.lineno, kw.value.col_offset, "TM103",
+                        f"subscribe(kinds=...): undeclared event kind "
+                        f"{kind!r} — the subscriber would never fire",
+                    )
+
+
+def _check_kinds_constant(node, path: str) -> Iterable[Finding]:
+    targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+    named_kinds = any(
+        isinstance(t, ast.Name) and t.id.upper().endswith("KINDS")
+        for t in targets
+    )
+    if not named_kinds or node.value is None:
+        return
+    elements = string_elements(node.value)
+    # A *KINDS constant that shares no vocabulary with the event
+    # registry is a different domain (e.g. the sanitizer's
+    # VIOLATION_KINDS) — only mixed lists can hide a typo'd bus kind.
+    if not any(kind in registry.EVENT_SCHEMAS for kind in elements):
+        return
+    for kind in elements:
+        if kind not in registry.EVENT_SCHEMAS:
+            yield Finding(
+                path, node.value.lineno, node.value.col_offset, "TM103",
+                f"undeclared event kind {kind!r} in a KINDS constant",
+            )
+
+
+def _check_payload_reads(tree: ast.Module, path: str) -> Iterable[Finding]:
+    """``event.data["x"]`` / ``data = event.data; data["x"]``/
+    ``data.get("x")`` — the field must exist in some declared payload."""
+    for scope in ast.walk(tree):
+        if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        #: local aliases of an event's data payload.
+        aliases: Set[str] = set()
+        for node in walk_body(scope):
+            if isinstance(node, ast.Assign) and _is_event_data(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        aliases.add(target.id)
+        for node in walk_body(scope):
+            field = None
+            location = None
+            if isinstance(node, ast.Subscript) and _is_payload_ref(
+                node.value, aliases
+            ):
+                field = const_str(node.slice)
+                location = node
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and _is_payload_ref(node.func.value, aliases)
+                and node.args
+            ):
+                field = const_str(node.args[0])
+                location = node
+            if field is not None and field not in registry.PAYLOAD_FIELDS:
+                yield Finding(
+                    path, location.lineno, location.col_offset, "TM103",
+                    f"event payload field {field!r} is not declared for any "
+                    "event kind (typo'd reads raise KeyError only when the "
+                    "kind actually fires)",
+                )
+
+
+def _is_event_data(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "data"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in _EVENT_VARS
+    )
+
+
+def _is_payload_ref(node: ast.AST, aliases: Set[str]) -> bool:
+    if _is_event_data(node):
+        return True
+    return isinstance(node, ast.Name) and node.id in aliases
+
+
+# ----------------------------------------------------------------------
+# TM104 — metric names
+# ----------------------------------------------------------------------
+def check_metric_schema(tree: ast.Module, path: str, ctx) -> Iterable[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        instrument = _METRIC_METHODS.get(func.attr)
+        if instrument is None or not node.args:
+            continue
+        if not _is_metric_receiver(func.value):
+            continue
+        name_node = node.args[0]
+        name = const_str(name_node)
+        if name is not None:
+            problem = registry.check_metric(name, instrument)
+            if problem is not None:
+                yield Finding(
+                    path, node.lineno, node.col_offset, "TM104", problem
+                )
+            continue
+        if isinstance(name_node, ast.JoinedStr):
+            prefix = fstring_prefix(name_node)
+            if prefix is None:
+                yield Finding(
+                    path, node.lineno, node.col_offset, "TM104",
+                    "dynamic metric name without a constant family prefix; "
+                    "spell it f\"<declared-family>{suffix}\" so the name "
+                    "is statically attributable",
+                )
+                continue
+            family = _family_of(prefix)
+            if family is None:
+                yield Finding(
+                    path, node.lineno, node.col_offset, "TM104",
+                    f"metric prefix {prefix!r} does not extend any declared "
+                    "dynamic family; declare one (name ending '.') in "
+                    "repro.analysis.registry.METRICS",
+                )
+            elif family.instrument != instrument:
+                yield Finding(
+                    path, node.lineno, node.col_offset, "TM104",
+                    f"metric family {family.name!r} is declared as a "
+                    f"{family.instrument}, not a {instrument}",
+                )
+
+
+def _family_of(prefix: str):
+    """The declared dynamic family a constant f-string *prefix*
+    extends: exact family, or a longer prefix inside one."""
+    family = registry.lookup_metric_family(prefix)
+    if family is not None:
+        return family
+    # "txn.aborts.fpga-" extends the "txn.aborts." family.
+    best = None
+    for spec in registry.METRICS:
+        if spec.dynamic and prefix.startswith(spec.name):
+            if best is None or len(spec.name) > len(best.name):
+                best = spec
+    return best
+
+
+def _is_metric_receiver(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _METRIC_RECEIVERS
+    if isinstance(node, ast.Attribute):
+        return node.attr in _METRIC_RECEIVERS | {"registry"}
+    return False
+
+
+PASSES = (
+    ("TM103", check_event_schema),
+    ("TM104", check_metric_schema),
+)

@@ -173,7 +173,9 @@ def _cmd_fig9(args) -> int:
 
 
 def _cmd_fig10(args) -> int:
-    import time
+    # Wall-clock here times the *sweep harness* (operator-facing ETA),
+    # never the simulated experiments, which run on virtual time.
+    import time  # tm: ignore[TM101]
 
     workloads = [WORKLOADS[name] for name in args.workloads] if args.workloads else ALL_WORKLOADS
     cache = ResultCache(args.cache) if args.cache else None
@@ -475,11 +477,91 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
-def _cmd_lint(args) -> int:
-    from .sanitizer import lint_paths
+def _cmd_analyze(args) -> int:
+    import json as _json
+
+    from .analysis import (
+        analyze_paths_cached,
+        apply_baseline,
+        baseline_from,
+        load_baseline,
+        parse_rules,
+    )
+    from .analysis.findings import DEFAULT_BASELINE
 
     try:
-        errors = lint_paths(args.paths)
+        rules = parse_rules(args.rules)
+    except ValueError as bad:
+        print(f"analyze: {bad}", file=sys.stderr)
+        return 2
+    try:
+        findings, files, cache_hit = analyze_paths_cached(
+            args.paths, rules, cache_path=args.cache
+        )
+    except FileNotFoundError as missing:
+        print(missing, file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    if args.update_baseline:
+        baseline_from(findings).dump(baseline_path)
+        print(
+            f"analyze: baselined {len(findings)} finding(s) "
+            f"into {baseline_path}"
+        )
+        return 0
+
+    baseline = None
+    if not args.no_baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except FileNotFoundError:
+            print(
+                f"analyze: baseline {args.baseline!r} not found",
+                file=sys.stderr,
+            )
+            return 2
+    new, baselined = apply_baseline(findings, baseline)
+
+    if args.format == "json":
+        print(
+            _json.dumps(
+                {
+                    "version": 1,
+                    "files": files,
+                    "cache_hit": cache_hit,
+                    "findings": [f.to_dict() for f in new],
+                    "baselined": [f.to_dict() for f in baselined],
+                },
+                indent=1,
+                sort_keys=True,
+            )
+        )
+    else:
+        for finding in new:
+            print(finding)
+        summary = (
+            f"{len(new)} finding(s) in {files} file(s) "
+            f"({', '.join(args.paths)})"
+        )
+        if baselined:
+            summary += f"; {len(baselined)} baselined"
+        print(summary)
+    return 1 if new else 0
+
+
+def _cmd_lint(args) -> int:
+    # Deprecated alias: the lint rules migrated onto the analyzer
+    # framework; this keeps byte-compatible output and exit codes.
+    from .analysis import analyze_paths, parse_rules
+
+    print(
+        "repro lint is deprecated; use "
+        "`repro analyze --rules TM001-TM004` (see docs/ANALYSIS.md)",
+        file=sys.stderr,
+    )
+    try:
+        errors, _ = analyze_paths(args.paths, parse_rules("TM001-TM004"))
     except FileNotFoundError as missing:
         print(missing, file=sys.stderr)
         return 2
@@ -691,8 +773,41 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument("--out", metavar="PATH", help="also write the snapshot to PATH")
     pm.set_defaults(func=_cmd_metrics)
 
+    pa = sub.add_parser(
+        "analyze",
+        help="static contract analyzer (TM001-TM106; exit 1 on findings)",
+    )
+    pa.add_argument("paths", nargs="*", default=["src"])
+    pa.add_argument(
+        "--rules",
+        default=None,
+        help="rule selection, e.g. TM101 or TM001-TM004,TM103 (default: all)",
+    )
+    pa.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is the CI artifact)",
+    )
+    pa.add_argument(
+        "--baseline", default=None,
+        help="baseline file (default: analysis-baseline.json if present)",
+    )
+    pa.add_argument(
+        "--no-baseline", action="store_true",
+        help="report baselined findings as failures too",
+    )
+    pa.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to tolerate today's findings, then exit 0",
+    )
+    pa.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="memoize results at PATH keyed on the repo source fingerprint",
+    )
+    pa.set_defaults(func=_cmd_analyze)
+
     pl = sub.add_parser(
-        "lint", help="repo-specific AST lint (TM001-TM004; exit 1 on errors)"
+        "lint",
+        help="deprecated alias for `analyze --rules TM001-TM004`",
     )
     pl.add_argument("paths", nargs="*", default=["src"])
     pl.set_defaults(func=_cmd_lint)

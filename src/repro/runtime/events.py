@@ -37,27 +37,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.analysis import registry as _registry
+
 #: every kind the simulator can emit (trace replays reuse a subset).
-#: The last four are published by the hybrid backend's validation
-#: path rather than the driver: ``validate`` carries the engine's
+#: The vocabulary — and each kind's required ``data`` payload — is
+#: declared once in :mod:`repro.analysis.registry`, which both this
+#: runtime assert layer and the static analyzer (``repro analyze``,
+#: rule TM103) check against.  ``validate`` carries the engine's
 #: per-request timing breakdown, ``fault`` an injected-fault tally,
 #: ``failover``/``failback`` the degradation ladder's transitions.
 #: All are consumed by :mod:`repro.obs`.
-EVENT_KINDS = (
-    "step",
-    "begin",
-    "read",
-    "write",
-    "commit",
-    "abort",
-    "park",
-    "wake",
-    "backoff",
-    "validate",
-    "fault",
-    "failover",
-    "failback",
-)
+EVENT_KINDS = _registry.EVENT_KINDS
 
 
 @dataclass(frozen=True)
@@ -165,6 +155,9 @@ class EventBus:
         return bool(self._all) or kind in self._by_kind
 
     def emit(self, event: SimEvent) -> None:
+        if __debug__:
+            problem = _registry.check_event(event.kind, event.data)
+            assert problem is None, problem
         for fn in self._all:
             fn(event)
         for fn in self._by_kind.get(event.kind, ()):

@@ -205,6 +205,11 @@ class TsxBackend(TMBackend):
                 other.doomed = cause
 
     def _apply_undo(self, txn: _HwTxn) -> None:
+        # Reachable from read(): requester-wins coherence lets a *read*
+        # evict a conflicting writer, whose speculative in-place stores
+        # (eager version management) must be rolled back here.  The
+        # store restores the pre-transaction value of the *evicted*
+        # transaction — it is the modeled abort, not a read effect.
         for addr, old in txn.undo.items():
-            self.memory.store(addr, old)
+            self.memory.store(addr, old)  # tm: ignore[TM106]
         txn.undo.clear()

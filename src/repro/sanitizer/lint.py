@@ -1,63 +1,40 @@
-"""Repo-specific AST lint rules.
+"""Deprecated shim: the lint rules live in :mod:`repro.analysis` now.
 
-These rules encode the invariants the *dynamic* sanitizer's replay
-relies on — chiefly determinism (a recorded execution must be exactly
-reproducible from its seed) and immutability of the record types the
-oracles consume.  Four rules:
+PR 1 introduced TM001-TM004 here as a standalone AST lint.  The static
+contract analyzer (``repro analyze``) absorbed them — same rules, same
+messages, one framework — in :mod:`repro.analysis.passes.legacy`, next
+to the repo-wide contract passes (TM101+).  This module keeps the
+original public surface alive for existing imports and tests:
 
-``TM001`` **determinism** — inside ``core/``, ``hw/`` and ``cc/``, the
-    only permitted use of the ``random`` module is constructing (or
-    annotating with) ``random.Random``; the ``time`` and ``datetime``
-    modules are banned outright.  Ambient entropy or wall-clock reads
-    in the validators would make sanitizer replay unsound.
+* :func:`lint_source` / :func:`lint_paths` run exactly the legacy
+  rules (plus TM000 syntax reporting) and return :class:`LintError`
+  rows, as before;
+* the historical rule-constant names re-export from the new home;
+* ``# tm-lint: ignore`` still suppresses (the framework honors it as
+  a suppress-all marker alongside the newer ``# tm: ignore[TMnnn]``).
 
-``TM002`` **mutable-default** — no mutable default arguments
-    (``def f(x=[])``), anywhere.  A shared default list in a backend
-    or workload aliases state across transactions/instances.
-
-``TM003`` **lock-discipline** — in backend classes, every mutation of
-    shared backend state reachable from the ``read``/``write`` hooks
-    must name its target attribute in the class-level
-    ``_sanitizer_locked`` tuple.  The declaration is the author's
-    assertion that the attribute is governed by the backend's lock /
-    commit discipline (or is a per-thread slot); undeclared mutations
-    on the hot path are exactly where write-back races hide.
-
-``TM004`` **frozen-dataclass** — trace/view/event record types
-    (dataclass names ending in ``View``/``Read``/``Write``/``Event``/
-    ``Op``/``Trace`` under ``cc/``, ``semantics/``, ``runtime/`` and
-    ``sanitizer/``) must be ``@dataclass(frozen=True)``: the oracles
-    assume footprints cannot be edited after recording.
-
-A line containing ``# tm-lint: ignore`` suppresses all findings on
-that line.  CLI: ``repro lint [paths...]``.
+New code should import from :mod:`repro.analysis` and run
+``repro analyze`` instead; see docs/ANALYSIS.md.
 """
 
 from __future__ import annotations
 
-import ast
 from dataclasses import dataclass
-from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import List, Sequence
+
+from repro.analysis.framework import analyze_paths, analyze_source, parse_rules
+from repro.analysis.passes.legacy import (  # noqa: F401  (compat re-exports)
+    BANNED_MODULES,
+    DETERMINISM_SCOPE,
+    FROZEN_SCOPE,
+    FROZEN_SUFFIXES,
+    MUTABLE_DEFAULT_CALLS,
+    MUTATOR_METHODS,
+)
 
 SUPPRESS_MARK = "# tm-lint: ignore"
 
-#: directories whose files the determinism rule governs.
-DETERMINISM_SCOPE = {"core", "hw", "cc", "faults"}
-#: directories whose record types must be frozen.
-FROZEN_SCOPE = {"cc", "semantics", "runtime", "sanitizer"}
-#: dataclass-name suffixes that mark a record (trace/view/event) type.
-FROZEN_SUFFIXES = ("View", "Read", "Write", "Event", "Op", "Trace")
-
-BANNED_MODULES = ("time", "datetime")
-MUTATOR_METHODS = {
-    "add", "append", "appendleft", "clear", "discard", "extend",
-    "insert", "pop", "popitem", "popleft", "remove", "setdefault",
-    "update",
-}
-MUTABLE_DEFAULT_CALLS = {
-    "list", "dict", "set", "defaultdict", "deque", "OrderedDict", "Counter",
-}
+_LEGACY_RULES = parse_rules("TM001-TM004")
 
 
 @dataclass(frozen=True)
@@ -72,283 +49,18 @@ class LintError:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
 
 
-# ----------------------------------------------------------------------
-# Helpers
-# ----------------------------------------------------------------------
-def _parts(path: str) -> Set[str]:
-    return set(Path(path).parts)
+def _as_lint_errors(findings) -> List[LintError]:
+    return [
+        LintError(f.path, f.line, f.col, f.rule, f.message) for f in findings
+    ]
 
 
-def _attr_root(node: ast.AST) -> Optional[str]:
-    """The attribute name X for any target rooted at ``self.X``."""
-    while isinstance(node, (ast.Subscript, ast.Attribute)):
-        inner = node.value
-        if (
-            isinstance(node, ast.Attribute)
-            and isinstance(inner, ast.Name)
-            and inner.id == "self"
-        ):
-            return node.attr
-        node = inner
-    return None
-
-
-def _is_backend_class(cls: ast.ClassDef) -> bool:
-    if cls.name.endswith("Backend"):
-        return True
-    for base in cls.bases:
-        name = base.attr if isinstance(base, ast.Attribute) else getattr(base, "id", "")
-        if name == "TMBackend" or name.endswith("Backend"):
-            return True
-    return False
-
-
-def _string_elements(node: ast.AST) -> List[str]:
-    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
-        return [
-            e.value
-            for e in node.elts
-            if isinstance(e, ast.Constant) and isinstance(e.value, str)
-        ]
-    return []
-
-
-# ----------------------------------------------------------------------
-# TM001 — determinism
-# ----------------------------------------------------------------------
-def _check_determinism(tree: ast.Module, path: str) -> Iterable[LintError]:
-    if not (_parts(path) & DETERMINISM_SCOPE):
-        return
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                root = alias.name.split(".")[0]
-                if root in BANNED_MODULES:
-                    yield LintError(
-                        path, node.lineno, node.col_offset, "TM001",
-                        f"module '{alias.name}' is banned here: validators "
-                        "must be deterministic (no wall-clock reads)",
-                    )
-        elif isinstance(node, ast.ImportFrom):
-            root = (node.module or "").split(".")[0]
-            if root in BANNED_MODULES:
-                yield LintError(
-                    path, node.lineno, node.col_offset, "TM001",
-                    f"import from '{node.module}' is banned here "
-                    "(determinism)",
-                )
-            elif root == "random":
-                for alias in node.names:
-                    if alias.name != "Random":
-                        yield LintError(
-                            path, node.lineno, node.col_offset, "TM001",
-                            f"'from random import {alias.name}' uses ambient "
-                            "entropy; inject a random.Random(seed) instead",
-                        )
-        elif isinstance(node, ast.Attribute):
-            if (
-                isinstance(node.value, ast.Name)
-                and node.value.id == "random"
-                and node.attr != "Random"
-            ):
-                yield LintError(
-                    path, node.lineno, node.col_offset, "TM001",
-                    f"module-level 'random.{node.attr}' breaks replay "
-                    "determinism; use an injected random.Random(seed)",
-                )
-            elif isinstance(node.value, ast.Name) and node.value.id in BANNED_MODULES:
-                yield LintError(
-                    path, node.lineno, node.col_offset, "TM001",
-                    f"'{node.value.id}.{node.attr}' is banned here "
-                    "(determinism)",
-                )
-
-
-# ----------------------------------------------------------------------
-# TM002 — mutable defaults
-# ----------------------------------------------------------------------
-def _check_mutable_defaults(tree: ast.Module, path: str) -> Iterable[LintError]:
-    for node in ast.walk(tree):
-        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            continue
-        defaults = list(node.args.defaults) + [
-            d for d in node.args.kw_defaults if d is not None
-        ]
-        for default in defaults:
-            bad = isinstance(
-                default, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
-            ) or (
-                isinstance(default, ast.Call)
-                and isinstance(default.func, ast.Name)
-                and default.func.id in MUTABLE_DEFAULT_CALLS
-            )
-            if bad:
-                yield LintError(
-                    path, default.lineno, default.col_offset, "TM002",
-                    f"mutable default argument in '{node.name}' aliases "
-                    "state across calls; default to None and construct "
-                    "inside the body",
-                )
-
-
-# ----------------------------------------------------------------------
-# TM003 — backend lock discipline
-# ----------------------------------------------------------------------
-def _check_lock_discipline(tree: ast.Module, path: str) -> Iterable[LintError]:
-    for cls in (n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)):
-        if not _is_backend_class(cls):
-            continue
-        methods = {
-            m.name: m for m in cls.body if isinstance(m, ast.FunctionDef)
-        }
-        declared: Set[str] = set()
-        for stmt in cls.body:
-            if isinstance(stmt, ast.Assign):
-                for target in stmt.targets:
-                    if isinstance(target, ast.Name) and target.id == "_sanitizer_locked":
-                        declared.update(_string_elements(stmt.value))
-
-        shared: Set[str] = set()
-        for init_name in ("__init__", "attach"):
-            init = methods.get(init_name)
-            if init is None:
-                continue
-            for node in ast.walk(init):
-                targets = []
-                if isinstance(node, ast.Assign):
-                    targets = node.targets
-                elif isinstance(node, ast.AnnAssign):
-                    targets = [node.target]
-                for target in targets:
-                    root = _attr_root(target)
-                    if root:
-                        shared.add(root)
-
-        # Methods reachable from the transactional hot path.
-        reachable: Set[str] = set()
-        frontier = [name for name in ("read", "write") if name in methods]
-        while frontier:
-            name = frontier.pop()
-            if name in reachable:
-                continue
-            reachable.add(name)
-            for node in ast.walk(methods[name]):
-                if (
-                    isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Attribute)
-                    and isinstance(node.func.value, ast.Name)
-                    and node.func.value.id == "self"
-                    and node.func.attr in methods
-                ):
-                    frontier.append(node.func.attr)
-
-        for name in sorted(reachable):
-            for node in ast.walk(methods[name]):
-                target = None
-                if isinstance(node, ast.Assign):
-                    target = node.targets[0]
-                elif isinstance(node, ast.AugAssign):
-                    target = node.target
-                elif (
-                    isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Attribute)
-                    and node.func.attr in MUTATOR_METHODS
-                ):
-                    target = node.func.value
-                if target is None:
-                    continue
-                root = _attr_root(target)
-                if root and root in shared and root not in declared:
-                    yield LintError(
-                        path, node.lineno, node.col_offset, "TM003",
-                        f"{cls.name}.{name} mutates shared backend state "
-                        f"'self.{root}' on the read/write path without "
-                        "declaring it in _sanitizer_locked — assert the "
-                        "lock/commit discipline or move the mutation",
-                    )
-
-
-# ----------------------------------------------------------------------
-# TM004 — frozen record dataclasses
-# ----------------------------------------------------------------------
-def _dataclass_decorator(cls: ast.ClassDef) -> Optional[ast.AST]:
-    for deco in cls.decorator_list:
-        name = None
-        if isinstance(deco, ast.Name):
-            name = deco.id
-        elif isinstance(deco, ast.Attribute):
-            name = deco.attr
-        elif isinstance(deco, ast.Call):
-            func = deco.func
-            name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
-        if name == "dataclass":
-            return deco
-    return None
-
-
-def _is_frozen(deco: ast.AST) -> bool:
-    if not isinstance(deco, ast.Call):
-        return False
-    for kw in deco.keywords:
-        if kw.arg == "frozen" and isinstance(kw.value, ast.Constant):
-            return bool(kw.value.value)
-    return False
-
-
-def _check_frozen_records(tree: ast.Module, path: str) -> Iterable[LintError]:
-    if not (_parts(path) & FROZEN_SCOPE):
-        return
-    for cls in (n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)):
-        if not cls.name.endswith(FROZEN_SUFFIXES):
-            continue
-        deco = _dataclass_decorator(cls)
-        if deco is not None and not _is_frozen(deco):
-            yield LintError(
-                path, cls.lineno, cls.col_offset, "TM004",
-                f"record dataclass '{cls.name}' must be frozen=True: the "
-                "semantics oracles assume recorded footprints are immutable",
-            )
-
-
-RULES = (
-    _check_determinism,
-    _check_mutable_defaults,
-    _check_lock_discipline,
-    _check_frozen_records,
-)
-
-
-# ----------------------------------------------------------------------
-# Drivers
-# ----------------------------------------------------------------------
 def lint_source(source: str, path: str) -> List[LintError]:
     """Lint one file's source text; *path* drives rule scoping."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as err:
-        return [
-            LintError(path, err.lineno or 0, err.offset or 0, "TM000",
-                      f"syntax error: {err.msg}")
-        ]
-    lines = source.splitlines()
-    errors: List[LintError] = []
-    for rule in RULES:
-        for error in rule(tree, path):
-            line_text = lines[error.line - 1] if 0 < error.line <= len(lines) else ""
-            if SUPPRESS_MARK in line_text:
-                continue
-            errors.append(error)
-    return sorted(errors, key=lambda e: (e.path, e.line, e.col, e.code))
+    return _as_lint_errors(analyze_source(source, path, _LEGACY_RULES))
 
 
 def lint_paths(paths: Sequence) -> List[LintError]:
     """Lint files and/or directory trees of ``*.py`` files."""
-    errors: List[LintError] = []
-    for entry in paths:
-        entry = Path(entry)
-        if not entry.exists():
-            raise FileNotFoundError(f"lint: no such file or directory: {entry}")
-        files = sorted(entry.rglob("*.py")) if entry.is_dir() else [entry]
-        for file in files:
-            errors.extend(lint_source(file.read_text(), str(file)))
-    return errors
+    findings, _ = analyze_paths(paths, _LEGACY_RULES)
+    return _as_lint_errors(findings)

@@ -136,7 +136,9 @@ class Relation:
 
     def is_total(self) -> bool:
         """Every pair of distinct elements is related one way or another."""
-        elems = list(self._elements)
+        # All-pairs scan: the boolean is a conjunction over unordered
+        # pairs, so the materialized order cannot leak into the result.
+        elems = list(self._elements)  # tm: ignore[TM102]
         for i, a in enumerate(elems):
             for b in elems[i + 1:]:
                 if self.concurrent(a, b):

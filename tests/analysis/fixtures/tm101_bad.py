@@ -1,0 +1,27 @@
+"""Seeded TM101 violations: every ambient-entropy shape, outside the
+TM001 directories (this fixture's path has no core/hw/cc/faults part)."""
+
+import os
+import secrets  # entropy import
+import time  # wall-clock import
+import uuid
+
+
+def fresh_nonce():
+    return os.urandom(8)  # kernel entropy
+
+
+def now_ns():
+    return time.time_ns()  # wall-clock read
+
+
+def mint_id():
+    return uuid.uuid4()  # urandom-backed uuid
+
+
+def token():
+    return secrets.token_hex(4)
+
+
+def address_order(xs):
+    return sorted(xs, key=id)  # allocation-address ordering

@@ -1,0 +1,24 @@
+"""Clean twin of tm101_bad: deterministic spellings of the same needs."""
+
+import uuid
+from random import Random
+
+NAMESPACE = uuid.UUID("12345678-1234-5678-1234-567812345678")
+
+
+def make_rng(seed):
+    return Random(seed)
+
+
+def mint_id(label):
+    return uuid.uuid5(NAMESPACE, label)  # content hash: deterministic
+
+
+def stable_order(xs):
+    return sorted(xs, key=lambda x: x.key)
+
+
+def not_the_module(random):
+    # parameter named `random` shadows nothing: the module is never
+    # imported here, so attribute reads on it are not module reads.
+    return random.random()

@@ -1,0 +1,23 @@
+"""Seeded TM102 violations: set iteration order leaking into ordered
+protocol surfaces."""
+
+
+def publish_all(bus, make_event):
+    pending = {1, 2, 3}
+    for item in pending:  # hash order into the event stream
+        bus.emit(make_event(item))
+
+
+def freeze(tags):
+    seen = set(tags)
+    return list(seen)  # materializes hash order
+
+
+def shout(tags):
+    seen = {t for t in tags}
+    return [t.upper() for t in seen]  # comprehension freezes hash order
+
+
+def cache_key(parts):
+    names = frozenset(parts)
+    return ",".join(names)  # hash order into a cache key

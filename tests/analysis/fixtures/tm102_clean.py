@@ -1,0 +1,32 @@
+"""Clean twin of tm102_bad: order-free consumption and sorted escapes."""
+
+
+def publish_all(bus, make_event):
+    pending = {1, 2, 3}
+    for item in sorted(pending):  # fixed order
+        bus.emit(make_event(item))
+
+
+def freeze(tags):
+    seen = set(tags)
+    return sorted(seen)
+
+
+def total(xs):
+    seen = set(xs)
+    return sum(seen)  # commutative: order-free
+
+
+def reach(seeds, graph):
+    # Worklist exemption: `stack` is popped by this same scope, so
+    # appends from set iteration impose no order on anything lasting.
+    frontier = set(seeds)
+    stack = []
+    for seed in frontier:
+        stack.append(seed)
+    visited = set()
+    while stack:
+        node = stack.pop()
+        if node not in visited:
+            visited.add(node)
+    return len(visited)

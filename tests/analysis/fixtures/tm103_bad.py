@@ -1,0 +1,28 @@
+"""Seeded TM103 violations: typo'd kinds, malformed payloads, and an
+undeclared payload-field read."""
+
+from repro.runtime.events import SimEvent
+
+
+def emit_typo(bus):
+    bus.emit(SimEvent("validated", tid=0, time=0.0))  # kind typo
+
+
+def guard(bus):
+    return bus.wants("comit")  # permanently-False guard
+
+
+def install(bus, fn):
+    bus.subscribe(fn, kinds=("commit", "abrt"))  # dead subscription
+
+
+BASE_KINDS = ("commit", "abort", "valdiate")  # typo in a KINDS constant
+
+
+def publish_fault(bus):
+    # 'fault' requires {kind, count}; 'count' is missing.
+    bus.emit(SimEvent("fault", tid=-1, time=0.0, data={"kind": "drop"}))
+
+
+def consume(event):
+    return event.data["n_reads"]  # declared field is 'n_read'

@@ -1,0 +1,32 @@
+"""Clean twin of tm103_bad: declared kinds, exact payloads, declared
+field reads — plus a KINDS constant from a different vocabulary."""
+
+from repro.runtime.events import SimEvent
+
+
+def emit_ok(bus):
+    if bus.wants("commit"):
+        bus.emit(SimEvent("commit", tid=1, time=5.0))
+
+
+def install(bus, fn):
+    bus.subscribe(fn, kinds=("failover", "failback"))
+
+
+def publish_fault(bus):
+    bus.emit(
+        SimEvent(
+            "fault", tid=-1, time=0.0,
+            data={"kind": "detector-drop", "count": 3},
+        )
+    )
+
+
+# Not bus kinds at all (the sanitizer's violation vocabulary): a KINDS
+# constant sharing no vocabulary with the registry is out of scope.
+VIOLATION_KINDS = ("opacity", "lost-update")
+
+
+def consume(event):
+    data = event.data
+    return data["mode"], data.get("timeouts")

@@ -1,0 +1,9 @@
+"""Seeded TM104 violations: typo'd, wrong-instrument, and unattributable
+metric names."""
+
+
+def record(reg, cause):
+    reg.count("txn.comits")  # typo'd counter
+    reg.gauge("hw.validation_ns", 5)  # declared as a histogram
+    reg.observe(f"txn.retry.{cause}", 1.0)  # undeclared dynamic family
+    reg.count(f"{cause}.aborts")  # no constant family prefix at all

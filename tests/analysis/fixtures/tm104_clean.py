@@ -1,0 +1,21 @@
+"""Clean twin of tm104_bad: declared names, declared families, and
+non-registry receivers that must not be confused for metric calls."""
+
+
+def record(reg, cause):
+    reg.count("txn.commits")
+    reg.count(f"txn.aborts.{cause}")  # declared dynamic family
+    reg.observe("hw.validation_ns", 12.0)
+    reg.gauge("hw.window_resident", 4)
+
+
+def tally(metrics):
+    metrics.count("fault.detector-drop")  # concrete name in a family
+
+
+def popcount(x):
+    return bin(x).count("1")  # str.count, not a metrics receiver
+
+
+def vowels(text):
+    return text.count("a")

@@ -1,0 +1,14 @@
+"""Seeded TM105 violations: poking Memory internals from outside
+runtime/memory.py."""
+
+
+def silent_store(memory, addr, value):
+    memory._cells[addr] = value  # no observer sees this store
+
+
+def rewind(memory):
+    memory._brk = 0  # corrupts the bump allocator
+
+
+def spy(memory):
+    return memory._observers  # subverts subscription semantics

@@ -1,0 +1,14 @@
+"""Clean twin of tm105_bad: the public Memory protocol."""
+
+
+def observed_store(memory, addr, value):
+    memory.store(addr, value)
+
+
+def heap_size(memory):
+    return memory.allocated
+
+
+def watch(memory, observer):
+    memory.subscribe(observer)
+    return memory.load(0)

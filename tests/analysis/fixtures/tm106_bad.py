@@ -1,0 +1,24 @@
+"""Seeded TM106 violations: stores reachable from a backend's read
+path, both directly and through a self-call chain."""
+
+
+class EagerBackend:
+    def __init__(self, memory):
+        self.memory = memory
+
+    def read(self, tid, addr, now):
+        value = self.memory.load(addr)
+        self.memory.store(addr, value)  # direct store on the read path
+        self._refresh(addr)
+        return value, now
+
+    def _refresh(self, addr):
+        self.memory.store(addr, 0)  # reachable from read via self-call
+
+    def write(self, tid, addr, value, now):
+        self._stash(addr, value)
+        return now
+
+    def _stash(self, addr, value):
+        # Only reachable from write: legal (write-through designs).
+        self.memory.store(addr, value)

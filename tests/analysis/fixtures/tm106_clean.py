@@ -1,0 +1,22 @@
+"""Clean twin of tm106_bad: reads buffer, commit installs."""
+
+
+class BufferedBackend:
+    def __init__(self, memory):
+        self.memory = memory
+        self.writes = {}
+
+    def read(self, tid, addr, now):
+        if addr in self.writes:
+            return self.writes[addr], now
+        return self.memory.load(addr), now
+
+    def write(self, tid, addr, value, now):
+        self.writes[addr] = value
+        return now
+
+    def commit(self, tid, now):
+        for addr in sorted(self.writes):
+            self.memory.store(addr, self.writes[addr])  # commit path
+        self.writes.clear()
+        return now
