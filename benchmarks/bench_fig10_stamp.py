@@ -41,12 +41,32 @@ def matrix():
       per core);
     * ``REPRO_BENCH_CACHE`` — content-addressed result-cache directory;
     * ``REPRO_BENCH_STAMP`` — write machine-readable sweep results
-      (specs, cells, wall-clock, cache hit rate) to this path.
+      (specs, cells, wall-clock, cache hit rate) to this path;
+    * ``REPRO_BENCH_TIMEOUT`` / ``REPRO_BENCH_RETRIES`` /
+      ``REPRO_BENCH_RESUME`` — any of these routes the sweep through
+      :class:`~repro.exec.SupervisedRunner`: per-cell deadline
+      (seconds), retries before quarantine, and the crash-resumable
+      journal path (see docs/EXECUTION.md).
     """
     jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
     cache_dir = os.environ.get("REPRO_BENCH_CACHE")
     cache = ResultCache(cache_dir) if cache_dir else None
-    runner = default_runner(jobs, cache=cache)
+    timeout = os.environ.get("REPRO_BENCH_TIMEOUT")
+    retries = os.environ.get("REPRO_BENCH_RETRIES")
+    journal = os.environ.get("REPRO_BENCH_RESUME")
+    if timeout or retries or journal:
+        from repro.exec import SupervisedRunner, SupervisorPolicy
+
+        policy = SupervisorPolicy(
+            timeout_s=float(timeout) if timeout else None,
+            max_retries=int(retries) if retries else 2,
+        )
+        runner = SupervisedRunner(
+            max_workers=jobs, cache=cache, policy=policy,
+            journal=journal, resume=bool(journal),
+        )
+    else:
+        runner = default_runner(jobs, cache=cache)
     specs = matrix_specs(scale=SCALE, seed=SEED)
     started = time.perf_counter()
     results = runner.run(specs)

@@ -205,6 +205,15 @@ METRICS: Tuple[MetricSpec, ...] = (
     _counter("fault.", "injected faults by kind", dynamic=True),
     _counter("ladder.failovers", "fpga->software transitions"),
     _counter("ladder.failbacks", "software->fpga transitions"),
+    # runner.* — the supervised execution layer (repro.exec.supervise).
+    _counter("runner.cells", "cells completed under supervision"),
+    _counter("runner.journal_hits", "cells served from the sweep journal"),
+    _counter("runner.journal_corrupt", "corrupt journal lines tolerated"),
+    _counter("runner.retries", "cell attempts retried"),
+    _counter("runner.timeouts", "cells killed at the wall-clock deadline"),
+    _counter("runner.quarantined", "cells quarantined after repeated failure"),
+    _counter("runner.failures.", "cell failures by kind", dynamic=True),
+    _histogram("runner.attempts", "attempts per completed cell"),
 )
 
 _EXACT_METRICS: Dict[str, MetricSpec] = {

@@ -151,14 +151,25 @@ def matrix_from_results(
     specs: Sequence[ExperimentSpec], results: Sequence[RunStats]
 ) -> StampMatrix:
     """Assemble cells, pairing each cell with its workload's
-    sequential baseline (specs as produced by :func:`matrix_specs`)."""
+    sequential baseline (specs as produced by :func:`matrix_specs`).
+
+    A ``None`` entry in *results* is a quarantined cell (see
+    :class:`~repro.exec.SupervisedRunner`): it is skipped, and when the
+    missing cell is a workload's sequential *baseline*, every dependent
+    speedup cell is skipped with it — a partial matrix, never a crash.
+    """
     matrix = StampMatrix()
     baselines: Dict[str, RunStats] = {}
     for spec, stats in zip(specs, results):
+        if stats is None:
+            continue
         if spec.backend == "sequential":
             baselines[spec.workload] = stats
             continue
-        matrix.add(_cell_from(stats, baselines[spec.workload], spec.n_threads))
+        baseline = baselines.get(spec.workload)
+        if baseline is None:
+            continue
+        matrix.add(_cell_from(stats, baseline, spec.n_threads))
     return matrix
 
 

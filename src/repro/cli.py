@@ -21,9 +21,12 @@ Each subcommand prints the rows/series of the corresponding figure or
 table; see ``benchmarks/`` for the asserted pytest-benchmark variants.
 
 Exit codes: 0 success, 1 failure (violations found, run error), 2
-usage error.  Parse errors exit through argparse; every error *after*
-parsing is converted to a return code by :func:`main`, never an
-uncaught traceback.
+usage error, 3 completed-with-quarantined-cells (supervised sweeps
+only: every healthy cell ran, but one or more poison cells were
+quarantined after exhausting their retries — diagnostics on stderr).
+Parse errors exit through argparse; every error *after* parsing is
+converted to a return code by :func:`main`, never an uncaught
+traceback.
 """
 
 from __future__ import annotations
@@ -59,6 +62,9 @@ from .stamp import ALL_WORKLOADS, CONTENTION_VARIANTS, EXTRA_WORKLOADS
 #: of truth for what a workload/backend name means everywhere.
 BACKENDS = BACKEND_REGISTRY
 WORKLOADS = WORKLOAD_REGISTRY
+
+#: supervised sweep finished, but some cells were quarantined.
+EXIT_QUARANTINED = 3
 
 #: tolerated spellings for registry keys (external tooling says
 #: "stamp-vacation-low" where the registry says "vacation").
@@ -106,6 +112,118 @@ def _make_backend(name: str, faults: Optional[str] = None, fault_seed: int = 0):
 
         return build_chaos_backend(faults, fault_seed)
     return BACKENDS[name]()
+
+
+def _env_default(name: str, cast):
+    """An ``REPRO_BENCH_*`` env value as a flag default, or None."""
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return None
+    try:
+        return cast(raw)
+    except ValueError:
+        raise SystemExit(f"bad {name}={raw!r}: expected {cast.__name__}") from None
+
+
+def add_supervision_args(sub_parser) -> None:
+    """The supervised-execution flags shared by stamp/chaos/fig10.
+
+    Defaults honor the ``REPRO_BENCH_*`` env conventions the
+    benchmarks already use, so CI can steer supervision without
+    editing command lines.
+    """
+    group = sub_parser.add_argument_group(
+        "supervision",
+        "any of these flags routes the sweep through SupervisedRunner "
+        "(deadlines, retries, quarantine, crash-resumable journal); "
+        "exit 3 = completed with quarantined cells",
+    )
+    group.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        default=_env_default("REPRO_BENCH_TIMEOUT", float),
+        help="per-cell wall-clock deadline (env: REPRO_BENCH_TIMEOUT)",
+    )
+    group.add_argument(
+        "--max-retries",
+        type=int,
+        metavar="N",
+        default=_env_default("REPRO_BENCH_RETRIES", int),
+        help="retries per failing cell before quarantine "
+        "(default 2; env: REPRO_BENCH_RETRIES)",
+    )
+    group.add_argument(
+        "--resume",
+        metavar="JOURNAL",
+        default=os.environ.get("REPRO_BENCH_RESUME") or None,
+        help="journal sweep progress to this fsynced JSONL WAL and, if "
+        "it already holds compatible entries, serve them instead of "
+        "re-executing (env: REPRO_BENCH_RESUME)",
+    )
+    group.add_argument(
+        "--worker-faults",
+        metavar="PLAN",
+        default=os.environ.get("REPRO_BENCH_WORKER_FAULTS") or None,
+        help="inject deterministic host-side worker faults, "
+        "kind@cell[:attempt],... with kinds crash|hang|garbage|"
+        "partial-write — chaos-tests the supervisor itself "
+        "(env: REPRO_BENCH_WORKER_FAULTS)",
+    )
+
+
+def _supervised_runner(args, cache):
+    """A :class:`SupervisedRunner` when any supervision flag is set,
+    else None (callers keep their plain serial/pool runner)."""
+    if (
+        args.timeout is None
+        and args.max_retries is None
+        and not args.resume
+        and not args.worker_faults
+    ):
+        return None
+    from .exec import SupervisedRunner, SupervisorPolicy
+
+    policy_kwargs = {}
+    if args.timeout is not None:
+        policy_kwargs["timeout_s"] = args.timeout
+    if args.max_retries is not None:
+        policy_kwargs["max_retries"] = args.max_retries
+    worker_faults = None
+    if args.worker_faults:
+        from .faults import WorkerFaultPlan
+
+        worker_faults = WorkerFaultPlan.parse(
+            args.worker_faults, seed=getattr(args, "fault_seed", 0) or 0
+        )
+    return SupervisedRunner(
+        max_workers=getattr(args, "jobs", None),
+        cache=cache,
+        policy=SupervisorPolicy(**policy_kwargs),
+        journal=args.resume,
+        resume=bool(args.resume),
+        worker_faults=worker_faults,
+    )
+
+
+def _report_supervision(runner) -> int:
+    """Summarize a supervised sweep on stderr; the exit code is 3 when
+    cells were quarantined, else 0."""
+    print(runner.summary(), file=sys.stderr)
+    if not runner.quarantined:
+        return 0
+    for index in sorted(runner.quarantined):
+        diag = runner.quarantined[index]
+        spec = diag.get("spec", {})
+        label = f"{spec.get('workload')}/{spec.get('backend')}@{spec.get('n_threads')}t"
+        failures = diag.get("failures", [])
+        kinds = ",".join(sorted({f.get("kind", "?") for f in failures}))
+        print(
+            f"quarantined cell {index} ({label}): "
+            f"{diag.get('attempts', len(failures))} attempts, {kinds}",
+            file=sys.stderr,
+        )
+    return EXIT_QUARANTINED
 
 
 def _cmd_list(_args) -> int:
@@ -179,7 +297,8 @@ def _cmd_fig10(args) -> int:
 
     workloads = [WORKLOADS[name] for name in args.workloads] if args.workloads else ALL_WORKLOADS
     cache = ResultCache(args.cache) if args.cache else None
-    runner = default_runner(args.jobs, cache=cache)
+    supervised = _supervised_runner(args, cache)
+    runner = supervised if supervised is not None else default_runner(args.jobs, cache=cache)
     specs = matrix_specs(
         workloads=workloads, threads=tuple(args.threads),
         scale=args.scale, seed=args.seed, obs=args.obs,
@@ -203,14 +322,24 @@ def _cmd_fig10(args) -> int:
             f"({cache.hit_rate:.0%}) in {cache.root}",
             file=sys.stderr,
         )
+    def cell_row(name, backend, nt):
+        # A quarantined cell (supervised sweeps) leaves a hole in the
+        # matrix; render it as "-" rather than crashing the table.
+        try:
+            cell = matrix.get(name, backend, nt)
+        except KeyError:
+            return [backend, nt, "-", "-"]
+        return [backend, nt, cell.speedup, cell.abort_rate]
+
+    def ratio(numerator, denominator, nt):
+        try:
+            return matrix.geomean_ratio(numerator, denominator, nt)
+        except (KeyError, ZeroDivisionError):
+            return "-"
+
     for name in matrix.workloads():
         rows = [
-            [
-                backend,
-                nt,
-                matrix.get(name, backend, nt).speedup,
-                matrix.get(name, backend, nt).abort_rate,
-            ]
+            cell_row(name, backend, nt)
             for backend in ("TinySTM", "TSX", "ROCoCoTM")
             for nt in args.threads
         ]
@@ -222,8 +351,8 @@ def _cmd_fig10(args) -> int:
     geo_rows = [
         [
             nt,
-            matrix.geomean_ratio("ROCoCoTM", "TinySTM", nt),
-            matrix.geomean_ratio("ROCoCoTM", "TSX", nt),
+            ratio("ROCoCoTM", "TinySTM", nt),
+            ratio("ROCoCoTM", "TSX", nt),
         ]
         for nt in args.threads
     ]
@@ -232,6 +361,8 @@ def _cmd_fig10(args) -> int:
         geo_rows,
         title="Geomean speedup ratios (paper @28t: 1.55 / 8.05)",
     )
+    if supervised is not None:
+        return _report_supervision(supervised)
     return 0
 
 
@@ -280,11 +411,19 @@ def _cmd_stamp(args) -> int:
         fault_seed=args.fault_seed,
     )
     cache = ResultCache(args.cache) if args.cache else None
-    [stats] = SerialRunner(cache=cache).run([spec])
+    runner = _supervised_runner(args, cache)
+    exit_code = 0
+    if runner is None:
+        [stats] = SerialRunner(cache=cache).run([spec])
+    else:
+        [stats] = runner.run([spec])
+        exit_code = _report_supervision(runner)
+        if stats is None:
+            return exit_code
     print(stats.summary())
     if stats.validations:
         print(f"mean validation: {stats.mean_validation_us:.3f} us/txn")
-    return 0
+    return exit_code
 
 
 def _cmd_chaos(args) -> int:
@@ -297,6 +436,7 @@ def _cmd_chaos(args) -> int:
     )
     rows = []
     violations = 0
+    supervised = None
     if args.sanitize:
         for sched in schedules:
             [(_, report, backend)] = chaos_sanitize(
@@ -331,9 +471,18 @@ def _cmd_chaos(args) -> int:
             for sched in schedules
         ]
         cache = ResultCache(args.cache) if args.cache else None
-        results = default_runner(args.jobs, cache=cache).run(specs)
+        supervised = _supervised_runner(args, cache)
+        runner = supervised if supervised is not None else default_runner(
+            args.jobs, cache=cache
+        )
+        results = runner.run(specs)
         for sched, stats in zip(schedules, results):
-            rows.append([sched] + degradation_row(stats) + ["-"])
+            if stats is None:  # quarantined under supervision
+                rows.append(
+                    [sched] + ["-"] * len(DEGRADATION_HEADERS) + ["QUARANTINED"]
+                )
+            else:
+                rows.append([sched] + degradation_row(stats) + ["-"])
     print_table(
         ["schedule"] + DEGRADATION_HEADERS + ["oracles"],
         rows,
@@ -342,7 +491,11 @@ def _cmd_chaos(args) -> int:
             f"(scale {args.scale}, seed {args.seed}, fault seed {args.fault_seed})"
         ),
     )
-    return 1 if violations else 0
+    if violations:
+        return 1
+    if supervised is not None:
+        return _report_supervision(supervised)
+    return 0
 
 
 def _cmd_sanitize(args) -> int:
@@ -625,6 +778,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach the metrics registry to every cell; snapshots land "
         "in the --stamp-json record (merged across shards)",
     )
+    add_supervision_args(p10)
     p10.set_defaults(func=_cmd_fig10)
 
     p11 = sub.add_parser("fig11", help="per-transaction validation overhead")
@@ -654,6 +808,7 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument(
         "--cache", metavar="DIR", help="content-addressed result cache"
     )
+    add_supervision_args(ps)
     ps.set_defaults(func=_cmd_stamp)
 
     pc = sub.add_parser(
@@ -691,6 +846,7 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument(
         "--cache", metavar="DIR", help="content-addressed result cache"
     )
+    add_supervision_args(pc)
     pc.set_defaults(func=_cmd_chaos)
 
     pz = sub.add_parser(

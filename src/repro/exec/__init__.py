@@ -12,13 +12,19 @@ first-class shape:
   hash + code fingerprint, so re-running a figure only executes
   changed cells;
 * :func:`write_bench_stamp` — the machine-readable ``BENCH_stamp.json``
-  record (specs, cells, wall-clock, cache hit rate).
+  record (specs, cells, wall-clock, cache hit rate);
+* :class:`SupervisedRunner` / :class:`SupervisorPolicy` — the
+  resilient execution layer: per-cell deadlines, heartbeat hang
+  detection, bounded seeded retries, poison-cell quarantine;
+* :class:`SweepJournal` — the fsynced per-sweep WAL behind
+  ``--resume``: a SIGKILLed sweep resumes bit-identically.
 
 See docs/EXECUTION.md for the architecture and the determinism
 argument.
 """
 
 from .cache import ResultCache, code_fingerprint
+from .journal import JournalState, SweepJournal, sweep_key
 from .runner import (
     ProcessPoolRunner,
     Runner,
@@ -28,18 +34,24 @@ from .runner import (
 )
 from .spec import BACKEND_REGISTRY, WORKLOAD_REGISTRY, ExperimentSpec
 from .stampfile import bench_stamp_payload, write_bench_stamp
+from .supervise import SupervisedRunner, SupervisorPolicy
 
 __all__ = [
     "BACKEND_REGISTRY",
     "ExperimentSpec",
+    "JournalState",
     "ProcessPoolRunner",
     "ResultCache",
     "Runner",
     "SerialRunner",
+    "SupervisedRunner",
+    "SupervisorPolicy",
+    "SweepJournal",
     "WORKLOAD_REGISTRY",
     "bench_stamp_payload",
     "code_fingerprint",
     "default_runner",
     "run_payload",
+    "sweep_key",
     "write_bench_stamp",
 ]

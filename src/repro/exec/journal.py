@@ -1,0 +1,230 @@
+"""The sweep journal: an append-only, fsynced JSONL write-ahead log.
+
+A long sweep is only as durable as its least durable shard.  The
+:class:`~repro.exec.cache.ResultCache` already makes *individual*
+cells durable, but it is an optimization the operator opts into and
+its entries are anonymous files — there is no record of which sweep
+produced them or how far that sweep got.  The journal is the sweep's
+own WAL: one JSONL file, opened by :class:`~repro.exec.supervise.
+SupervisedRunner`, fsynced after every record, that a SIGKILLed sweep
+can be resumed from with ``--resume`` — completed cells are served
+from the journal (never re-executed) and the resumed run's
+``BENCH_stamp.json`` is bit-identical to an uninterrupted one.
+
+File format (one JSON object per line):
+
+* ``{"type": "header", "version": 1, "sweep_key", "fingerprint",
+  "n_specs"}`` — written once when a journal starts fresh.  The
+  fingerprint is the :func:`~repro.exec.cache.code_fingerprint`; a
+  journal written by different code is discarded wholesale on load
+  (same philosophy as the cache: correctness beats salvage).
+* ``{"type": "result", "spec": <content hash>, "stats": {...},
+  "crc": ...}`` — one completed cell.
+* ``{"type": "quarantine", "spec": <content hash>,
+  "diagnostics": {...}, "crc": ...}`` — one poisoned cell; on resume
+  it is *skipped*, not retried (quarantine is sticky by design).
+
+Every record carries a content checksum (``crc``), so a torn or
+bit-flipped line is detected on load and tolerated — reported in
+:attr:`JournalState.corrupt`, never a crash; the affected cell simply
+re-runs.  A torn tail (the classic crash-mid-write) is additionally
+healed on reopen: appends start on a fresh line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .cache import code_fingerprint
+
+JOURNAL_VERSION = 1
+
+
+def _canonical(record: Dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _crc(record: Dict) -> str:
+    """Content checksum over a record (its ``crc`` field excluded)."""
+    body = {key: value for key, value in record.items() if key != "crc"}
+    return hashlib.sha256(_canonical(body).encode("utf-8")).hexdigest()[:16]
+
+
+def sweep_key(spec_hashes: Sequence[str], fingerprint: str) -> str:
+    """Identity of one sweep: the cells it names plus the code that
+    will run them.  Stable under resume; different grids differ."""
+    blob = _canonical({"specs": list(spec_hashes), "fingerprint": fingerprint})
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class JournalState:
+    """What a journal file held when it was opened."""
+
+    header: Optional[Dict] = None
+    #: spec content hash -> stats dict (as written by ``to_dict``).
+    results: Dict[str, Dict] = field(default_factory=dict)
+    #: spec content hash -> quarantine diagnostics.
+    quarantined: Dict[str, Dict] = field(default_factory=dict)
+    #: human-readable notes for lines that failed to parse or verify.
+    corrupt: List[str] = field(default_factory=list)
+    #: True when the header was missing or written by different code —
+    #: every entry was discarded and the sweep starts from scratch.
+    stale: bool = False
+
+
+class SweepJournal:
+    """Durable per-sweep WAL; see the module docstring for format."""
+
+    def __init__(self, path: str):
+        self.path = Path(path)
+        self._sink = None
+        #: False after a torn write: the next append must open a fresh
+        #: line so the torn bytes cannot corrupt the following record.
+        self._clean = True
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def load(self, fingerprint: Optional[str] = None) -> JournalState:
+        """Parse the journal; corrupt lines are reported, never raised."""
+        fingerprint = fingerprint or code_fingerprint()
+        state = JournalState()
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            state.stale = True  # nothing on disk: start fresh
+            return state
+        for lineno, line in enumerate(raw.split(b"\n"), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                state.corrupt.append(f"line {lineno}: unparseable (torn write?)")
+                continue
+            if not isinstance(record, dict):
+                state.corrupt.append(f"line {lineno}: not a JSON object")
+                continue
+            kind = record.get("type")
+            if kind == "header":
+                if state.header is None:
+                    state.header = record
+                continue
+            if record.get("crc") != _crc(record):
+                state.corrupt.append(
+                    f"line {lineno}: checksum mismatch ({kind or 'unknown'} record)"
+                )
+                continue
+            if kind == "result" and isinstance(record.get("stats"), dict):
+                state.results[record["spec"]] = record["stats"]
+            elif kind == "quarantine" and isinstance(
+                record.get("diagnostics"), dict
+            ):
+                state.quarantined[record["spec"]] = record["diagnostics"]
+            else:
+                state.corrupt.append(f"line {lineno}: unknown record type {kind!r}")
+        if state.header is None or state.header.get("fingerprint") != fingerprint:
+            # A journal from different code (or with no provenance at
+            # all) cannot be trusted to replay bit-identically.
+            state.results.clear()
+            state.quarantined.clear()
+            state.stale = True
+        return state
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        spec_hashes: Sequence[str],
+        fingerprint: Optional[str] = None,
+        resume: bool = True,
+    ) -> JournalState:
+        """Open the journal for a sweep over *spec_hashes*.
+
+        With ``resume`` (the default) a compatible existing file is
+        kept and appended to, and its completed/quarantined entries
+        are returned; otherwise (or when the file is stale) the
+        journal is rewritten with a fresh header.
+        """
+        fingerprint = fingerprint or code_fingerprint()
+        state = self.load(fingerprint) if resume else JournalState(stale=True)
+        if state.stale:
+            state = JournalState()
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._sink = open(self.path, "wb")
+            self._clean = True
+            header = {
+                "type": "header",
+                "version": JOURNAL_VERSION,
+                "sweep_key": sweep_key(spec_hashes, fingerprint),
+                "fingerprint": fingerprint,
+                "n_specs": len(spec_hashes),
+            }
+            state.header = header
+            self._append(header)
+        else:
+            self._sink = open(self.path, "ab")
+            # Heal a torn tail: if the file does not end in a newline,
+            # the next record must not glue itself onto the debris.
+            self._clean = self.path.stat().st_size == 0 or self._ends_clean()
+        return state
+
+    def _ends_clean(self) -> bool:
+        with open(self.path, "rb") as source:
+            source.seek(-1, os.SEEK_END)
+            return source.read(1) == b"\n"
+
+    def _append(self, record: Dict) -> None:
+        if self._sink is None:
+            raise RuntimeError("journal not started; call start() first")
+        line = _canonical(record).encode("utf-8") + b"\n"
+        if not self._clean:
+            line = b"\n" + line
+        self._sink.write(line)
+        self._sink.flush()
+        os.fsync(self._sink.fileno())
+        self._clean = True
+
+    def record_result(self, spec_hash: str, stats: Dict) -> None:
+        record = {"type": "result", "spec": spec_hash, "stats": stats}
+        record["crc"] = _crc(record)
+        self._append(record)
+
+    def record_quarantine(self, spec_hash: str, diagnostics: Dict) -> None:
+        record = {
+            "type": "quarantine",
+            "spec": spec_hash,
+            "diagnostics": diagnostics,
+        }
+        record["crc"] = _crc(record)
+        self._append(record)
+
+    def record_torn_result(self, spec_hash: str, stats: Dict) -> None:
+        """Fault injection (``partial-write``): write the first half of
+        a result record and stop, exactly as a crash mid-``write(2)``
+        would.  The loader must skip it; the next append heals it."""
+        record = {"type": "result", "spec": spec_hash, "stats": stats}
+        record["crc"] = _crc(record)
+        blob = _canonical(record).encode("utf-8")
+        torn = blob[: max(1, len(blob) // 2)]
+        if self._sink is None:
+            raise RuntimeError("journal not started; call start() first")
+        if not self._clean:
+            torn = b"\n" + torn
+        self._sink.write(torn)
+        self._sink.flush()
+        os.fsync(self._sink.fileno())
+        self._clean = False
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None

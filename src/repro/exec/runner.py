@@ -107,10 +107,15 @@ def _pick_context():
 class ProcessPoolRunner(Runner):
     """Shards cells across host cores; bit-identical to serial.
 
-    ``pool.map`` preserves input order, so the merge is deterministic
-    regardless of which worker finished first.  Any failure to build
-    or use a pool degrades to serial execution of the same specs —
-    recorded in :attr:`fallback_reason` so harnesses can report it.
+    Cells are submitted as individual ``apply_async`` handles and
+    collected in input order, so the merge is deterministic regardless
+    of which worker finished first.  A *pool-level* failure (broken
+    pipe, lost worker, pool that cannot be built) salvages every cell
+    whose result already arrived and reruns only the missing ones in
+    this process — recorded in :attr:`fallback_reason` so harnesses can
+    report it.  Cell-level exceptions raised by the workload itself
+    propagate unchanged; for deadlines, retries and quarantine see
+    :class:`~repro.exec.supervise.SupervisedRunner`.
     """
 
     name = "process-pool"
@@ -136,18 +141,48 @@ class ProcessPoolRunner(Runner):
             return SerialRunner()._execute(specs, progress)
         payloads = [spec.canonical() for spec in specs]
         workers = min(self.max_workers, len(specs))
+        raw: List[Optional[Dict]] = [None] * len(specs)
         try:
-            with context.Pool(processes=workers) as pool:
-                raw = pool.map(run_payload, payloads)
-        except Exception as failure:  # pool died: run the cells here.
+            pool = context.Pool(processes=workers)
+        except OSError as failure:  # can't even build a pool: run here.
             self.fallback_reason = f"{type(failure).__name__}: {failure}"
             return SerialRunner()._execute(specs, progress)
-        results = [RunStats.from_dict(entry) for entry in raw]
-        if progress is not None:
-            for spec, stats in zip(specs, results):
+        try:
+            # One handle per cell (not one bulk map): when the pool
+            # dies mid-sweep, every cell that already finished is
+            # salvaged and only the missing ones rerun serially.
+            handles = [pool.apply_async(run_payload, (p,)) for p in payloads]
+            for index, handle in enumerate(handles):
+                try:
+                    if self.fallback_reason is None:
+                        raw[index] = handle.get()
+                    elif handle.ready():
+                        # The pool is dead, but this cell's result was
+                        # delivered before it died: keep it.
+                        raw[index] = handle.get()
+                except (OSError, RuntimeError, EOFError, BrokenPipeError) as failure:
+                    # Pool-level death (broken pipe, lost worker, …) —
+                    # cell-level exceptions from run_payload propagate.
+                    if self.fallback_reason is None:
+                        self.fallback_reason = f"{type(failure).__name__}: {failure}"
+        finally:
+            pool.terminate()
+            pool.join()
+        results: List[RunStats] = []
+        salvaged = 0
+        for spec, entry in zip(specs, raw):
+            if entry is None:
+                stats = spec.execute()
+            else:
+                stats = RunStats.from_dict(entry)
+                salvaged += 1
+            results.append(stats)
+            if progress is not None:
                 progress(
                     f"{spec.label()} makespan={stats.makespan_ns / 1e6:.3f} ms"
                 )
+        if self.fallback_reason is not None and salvaged:
+            self.fallback_reason += f" (salvaged {salvaged} completed cells)"
         return results
 
 

@@ -10,11 +10,14 @@ commits and uploadable as a CI artifact.
 from __future__ import annotations
 
 import json
+import os
 import platform
 
 # Run provenance (when was this stamp generated) is the one sanctioned
 # wall-clock read: it annotates the artifact, never the results, and
-# the stamp equality check excludes it.
+# the stamp equality check excludes it.  SOURCE_DATE_EPOCH (the
+# reproducible-builds convention) pins it — and zeroes wall_clock_s —
+# so two runs of the same sweep can be compared byte-for-byte.
 import time  # tm: ignore[TM101]
 from dataclasses import asdict
 from typing import Optional, Sequence
@@ -24,6 +27,26 @@ from .runner import Runner
 from .spec import ExperimentSpec
 
 STAMP_VERSION = 1
+
+
+def _provenance_clock(wall_clock_s: float):
+    """(generated_at, wall_clock_s), honoring SOURCE_DATE_EPOCH.
+
+    With the env var set, the stamp's two wall-clock fields become
+    functions of it alone — the kill/resume bit-identity guarantee
+    (and the CI crash-smoke byte comparison) rests on this.
+    """
+    pinned = os.environ.get("SOURCE_DATE_EPOCH")
+    if pinned is not None:
+        try:
+            epoch = int(pinned)
+        except ValueError:
+            epoch = 0
+        # Not an ambient read: a pure function of the pinned epoch.
+        stamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(epoch))  # tm: ignore[TM101]
+        return stamp, 0.0
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())  # tm: ignore[TM101]
+    return stamp, round(wall_clock_s, 6)
 
 
 def bench_stamp_payload(
@@ -42,22 +65,30 @@ def bench_stamp_payload(
     counter-by-counter and bucket-by-bucket, so a pool-sharded sweep
     stamps byte-identically to a serial one.
     """
+    generated_at, wall_clock_s = _provenance_clock(wall_clock_s)
     payload = {
         "version": STAMP_VERSION,
-        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),  # tm: ignore[TM101]
+        "generated_at": generated_at,
         "host": {
             "python": platform.python_version(),
             "machine": platform.machine(),
         },
         "code_fingerprint": code_fingerprint(),
         "runner": runner.name if runner is not None else "serial",
-        "wall_clock_s": round(wall_clock_s, 6),
+        "wall_clock_s": wall_clock_s,
         "n_specs": len(specs),
         "specs": [spec.canonical() for spec in specs],
         "cells": [asdict(cell) for cell in matrix.cells],
     }
     if isinstance(runner, Runner) and getattr(runner, "fallback_reason", None):
         payload["runner_fallback"] = runner.fallback_reason
+    quarantined = getattr(runner, "quarantined", None)
+    if quarantined:
+        # Quarantine diagnostics ride in the stamp so a partial sweep
+        # is still a complete record: which cells are missing, and why.
+        payload["quarantined"] = [
+            quarantined[index] for index in sorted(quarantined)
+        ]
     if cache is not None:
         payload["cache"] = {
             "root": str(cache.root),

@@ -19,6 +19,9 @@ This package supplies both halves of the robustness story:
   mode; health-probe-driven fail-back.
 * :func:`chaos_sanitize` — the fault matrix replayed through the
   sanitizer's serializability/opacity oracles (see docs/FAULTS.md).
+* :class:`WorkerFaultPlan` — deterministic *host*-side faults (worker
+  crash / hang / garbage-output / partial-write) chaos-testing the
+  supervised execution layer in :mod:`repro.exec.supervise`.
 """
 
 from .chaos import build_chaos_backend, chaos_sanitize
@@ -32,9 +35,12 @@ from .degradation import (
 from .engine import ChaosValidationEngine, ValidationTimeout
 from .link import FaultyLink, LinkDown
 from .plan import BUILTIN_SCHEDULES, FaultPlan, all_plans, named_plan
+from .worker import WORKER_FAULT_KINDS, WorkerFaultPlan
 
 __all__ = [
     "BUILTIN_SCHEDULES",
+    "WORKER_FAULT_KINDS",
+    "WorkerFaultPlan",
     "ChaosValidationEngine",
     "DegradationManager",
     "DegradationPolicy",

@@ -1,0 +1,148 @@
+"""The sweep journal: durability, corruption tolerance, provenance."""
+
+import json
+
+from repro.exec import ExperimentSpec, SweepJournal, sweep_key
+from repro.exec.cache import code_fingerprint
+
+SPECS = [
+    ExperimentSpec("kmeans", "TinySTM", 2, scale=0.2, seed=1),
+    ExperimentSpec("ssca2", "ROCoCoTM", 2, scale=0.2, seed=1),
+]
+HASHES = [spec.content_hash() for spec in SPECS]
+
+
+def _stats_dict(spec):
+    return spec.execute().to_dict()
+
+
+class TestRoundTrip:
+    def test_result_round_trip(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        journal = SweepJournal(str(path))
+        journal.start(HASHES)
+        stats = _stats_dict(SPECS[0])
+        journal.record_result(HASHES[0], stats)
+        journal.record_quarantine(HASHES[1], {"attempts": 3, "failures": []})
+        journal.close()
+
+        state = SweepJournal(str(path)).load()
+        assert not state.stale
+        assert state.results == {HASHES[0]: stats}
+        assert state.quarantined == {HASHES[1]: {"attempts": 3, "failures": []}}
+        assert state.corrupt == []
+
+    def test_resume_appends(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        journal = SweepJournal(str(path))
+        journal.start(HASHES)
+        journal.record_result(HASHES[0], _stats_dict(SPECS[0]))
+        journal.close()
+
+        again = SweepJournal(str(path))
+        state = again.start(HASHES)
+        assert HASHES[0] in state.results  # served, not re-run
+        again.record_result(HASHES[1], _stats_dict(SPECS[1]))
+        again.close()
+        final = SweepJournal(str(path)).load()
+        assert set(final.results) == set(HASHES)
+
+    def test_no_resume_truncates(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        journal = SweepJournal(str(path))
+        journal.start(HASHES)
+        journal.record_result(HASHES[0], _stats_dict(SPECS[0]))
+        journal.close()
+        state = SweepJournal(str(path)).start(HASHES, resume=False)
+        assert state.results == {}
+        assert SweepJournal(str(path)).load().results == {}
+
+
+class TestCorruption:
+    """Corrupt or truncated entries are tolerated on load — reported
+    in ``state.corrupt``, never raised — and only the affected cell
+    loses its entry."""
+
+    def test_torn_tail_is_skipped_and_healed(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        journal = SweepJournal(str(path))
+        journal.start(HASHES)
+        journal.record_result(HASHES[0], _stats_dict(SPECS[0]))
+        # Crash mid-write: half a record, no newline.
+        journal.record_torn_result(HASHES[1], _stats_dict(SPECS[1]))
+        journal.close()
+
+        state = SweepJournal(str(path)).load()
+        assert state.results.keys() == {HASHES[0]}
+        assert len(state.corrupt) == 1
+
+        # Healing: appending after the torn tail starts a fresh line,
+        # so the new record survives the next load.
+        again = SweepJournal(str(path))
+        again.start(HASHES)
+        again.record_result(HASHES[1], _stats_dict(SPECS[1]))
+        again.close()
+        healed = SweepJournal(str(path)).load()
+        assert set(healed.results) == set(HASHES)
+        assert len(healed.corrupt) == 1  # the debris is still skipped
+
+    def test_bitflip_fails_crc(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        journal = SweepJournal(str(path))
+        journal.start(HASHES)
+        stats = _stats_dict(SPECS[0])
+        journal.record_result(HASHES[0], stats)
+        journal.close()
+
+        lines = path.read_bytes().splitlines(keepends=True)
+        # Flip a digit inside the stats payload of the result line.
+        record = json.loads(lines[1])
+        record["stats"]["makespan_ns"] = record["stats"]["makespan_ns"] + 1
+        lines[1] = (
+            json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+            + b"\n"
+        )
+        path.write_bytes(b"".join(lines))
+
+        state = SweepJournal(str(path)).load()
+        assert state.results == {}
+        assert any("checksum" in note for note in state.corrupt)
+
+    def test_garbage_lines_never_crash(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        journal = SweepJournal(str(path))
+        journal.start(HASHES)
+        journal.record_result(HASHES[0], _stats_dict(SPECS[0]))
+        journal.close()
+        with open(path, "ab") as sink:
+            sink.write(b"\x00\xffnot json\n")
+            sink.write(b'[1, 2, 3]\n')
+            sink.write(b'{"type": "martian", "crc": "00"}\n')
+        state = SweepJournal(str(path)).load()
+        assert state.results.keys() == {HASHES[0]}
+        assert len(state.corrupt) == 3
+
+
+class TestProvenance:
+    def test_foreign_fingerprint_discards_everything(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        journal = SweepJournal(str(path))
+        journal.start(HASHES, fingerprint="code-at-rev-A")
+        journal.record_result(HASHES[0], _stats_dict(SPECS[0]))
+        journal.close()
+        state = SweepJournal(str(path)).load(fingerprint="code-at-rev-B")
+        assert state.stale
+        assert state.results == {}
+
+    def test_current_fingerprint_is_the_default(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        journal = SweepJournal(str(path))
+        state = journal.start(HASHES)
+        journal.close()
+        assert state.header["fingerprint"] == code_fingerprint()
+        assert state.header["sweep_key"] == sweep_key(HASHES, code_fingerprint())
+
+    def test_missing_file_starts_fresh(self, tmp_path):
+        state = SweepJournal(str(tmp_path / "absent.jsonl")).load()
+        assert state.stale
+        assert state.results == {}

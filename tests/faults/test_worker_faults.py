@@ -1,0 +1,75 @@
+"""WorkerFaultPlan: determinism, parsing, rate partitioning."""
+
+import pytest
+
+from repro.faults import WORKER_FAULT_KINDS, WorkerFaultPlan
+
+
+class TestEntries:
+    def test_every_attempt_when_attempt_omitted(self):
+        plan = WorkerFaultPlan.parse("crash@2")
+        assert plan.fault_for(2, 0) == "crash"
+        assert plan.fault_for(2, 7) == "crash"
+        assert plan.fault_for(1, 0) is None
+
+    def test_single_attempt_entry(self):
+        plan = WorkerFaultPlan.parse("hang@3:1")
+        assert plan.fault_for(3, 0) is None
+        assert plan.fault_for(3, 1) == "hang"
+        assert plan.fault_for(3, 2) is None
+
+    def test_multiple_entries(self):
+        plan = WorkerFaultPlan.parse("crash@0:0, garbage@1, partial-write@2:1")
+        assert plan.fault_for(0, 0) == "crash"
+        assert plan.fault_for(1, 5) == "garbage"
+        assert plan.fault_for(2, 1) == "partial-write"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown worker fault kind"):
+            WorkerFaultPlan.parse("meltdown@0")
+
+    def test_bad_syntax_rejected(self):
+        with pytest.raises(ValueError, match="expected kind@cell"):
+            WorkerFaultPlan.parse("crash")
+        with pytest.raises(ValueError, match="must be ints"):
+            WorkerFaultPlan.parse("crash@one")
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            WorkerFaultPlan(entries=((-1, None, "crash"),))
+
+
+class TestRates:
+    def test_deterministic_across_instances(self):
+        a = WorkerFaultPlan(seed=7, crash_rate=0.2, hang_rate=0.2)
+        b = WorkerFaultPlan(seed=7, crash_rate=0.2, hang_rate=0.2)
+        draws = [(i, k) for i in range(50) for k in range(3)]
+        assert [a.fault_for(i, k) for i, k in draws] == [
+            b.fault_for(i, k) for i, k in draws
+        ]
+
+    def test_seed_changes_the_schedule(self):
+        a = WorkerFaultPlan(seed=1, crash_rate=0.5)
+        b = WorkerFaultPlan(seed=2, crash_rate=0.5)
+        draws = [(i, 0) for i in range(64)]
+        assert [a.fault_for(*d) for d in draws] != [b.fault_for(*d) for d in draws]
+
+    def test_rates_partition_kinds(self):
+        plan = WorkerFaultPlan(
+            seed=3,
+            crash_rate=0.25,
+            hang_rate=0.25,
+            garbage_rate=0.25,
+            partial_write_rate=0.25,
+        )
+        kinds = {plan.fault_for(i, 0) for i in range(200)}
+        assert kinds == set(WORKER_FAULT_KINDS)
+
+    def test_zero_rates_never_fault(self):
+        plan = WorkerFaultPlan(seed=3)
+        assert all(plan.fault_for(i, k) is None for i in range(20) for k in range(3))
+
+    def test_entries_win_over_rates(self):
+        plan = WorkerFaultPlan(entries=((0, None, "hang"),), seed=3, crash_rate=1.0)
+        assert plan.fault_for(0, 0) == "hang"
+        assert plan.fault_for(1, 0) == "crash"

@@ -225,3 +225,89 @@ class TestLintCli:
     def test_missing_path_exits_two(self, tmp_path, capsys):
         assert main(["lint", str(tmp_path / "nope")]) == 2
         assert "no such file" in capsys.readouterr().err
+
+
+class TestSupervisedCli:
+    """The --timeout/--max-retries/--resume/--worker-faults flags on
+    stamp/chaos/fig10, and the exit-3 quarantine convention."""
+
+    def test_stamp_supervised_ok(self, capsys):
+        assert main(["stamp", "kmeans", "TinySTM", "--threads", "2",
+                     "--scale", "0.1", "--timeout", "120"]) == 0
+        captured = capsys.readouterr()
+        assert "supervised: 1 executed" in captured.err
+        assert "kmeans/TinySTM@2t" in captured.out
+
+    def test_stamp_poison_cell_exits_three(self, capsys):
+        assert main(["stamp", "kmeans", "TinySTM", "--threads", "2",
+                     "--scale", "0.1", "--worker-faults", "crash@0",
+                     "--max-retries", "0"]) == 3
+        captured = capsys.readouterr()
+        assert "quarantined cell 0" in captured.err
+
+    def test_stamp_resume_serves_from_journal(self, tmp_path, capsys):
+        journal = str(tmp_path / "sweep.jsonl")
+        args = ["stamp", "kmeans", "TinySTM", "--threads", "2",
+                "--scale", "0.1", "--resume", journal]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert captured.out == first  # same result, not re-derived
+        assert "1 from journal" in captured.err
+
+    def test_env_defaults_route_through_supervisor(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_TIMEOUT", "120")
+        assert main(["stamp", "kmeans", "TinySTM", "--threads", "2",
+                     "--scale", "0.1"]) == 0
+        assert "supervised:" in capsys.readouterr().err
+
+    def test_bad_env_value_is_rejected(self, monkeypatch):
+        # Env defaults are parsed while the parser is built, so a bad
+        # value bails like any other usage error (through SystemExit).
+        monkeypatch.setenv("REPRO_BENCH_RETRIES", "many")
+        with pytest.raises(SystemExit) as bail:
+            main(["stamp", "kmeans", "TinySTM", "--threads", "2",
+                  "--scale", "0.1"])
+        assert "REPRO_BENCH_RETRIES" in str(bail.value.code)
+
+    def test_chaos_quarantine_row_and_exit(self, capsys):
+        assert main(["chaos", "kmeans", "--schedule", "drop", "spike",
+                     "--threads", "2", "--scale", "0.1",
+                     "--worker-faults", "crash@0", "--max-retries", "0"]) == 3
+        captured = capsys.readouterr()
+        assert "QUARANTINED" in captured.out
+
+    def test_fig10_partial_matrix_renders_dashes(self, tmp_path, capsys):
+        stamp = tmp_path / "stamp.json"
+        # Quarantine one non-baseline cell; the table shows "-" for it
+        # and the sweep still exits 3 with a written stamp.
+        assert main(["fig10", "--scale", "0.1", "--workloads", "kmeans",
+                     "--threads", "1", "4", "--worker-faults", "crash@2",
+                     "--max-retries", "0",
+                     "--stamp-json", str(stamp)]) == 3
+        captured = capsys.readouterr()
+        assert "-" in captured.out
+        import json
+
+        payload = json.loads(stamp.read_text())
+        assert len(payload["quarantined"]) == 1
+
+    def test_fig10_resume_is_bit_identical(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("SOURCE_DATE_EPOCH", "0")
+        ref = tmp_path / "ref.json"
+        out = tmp_path / "out.json"
+        journal = str(tmp_path / "sweep.jsonl")
+        # Both runs supervised (--timeout) so the stamp's runner field
+        # matches; only the second also resumes from the journal.
+        base = ["fig10", "--scale", "0.1", "--workloads", "kmeans",
+                "--threads", "1", "4", "--timeout", "120"]
+        assert main(base + ["--stamp-json", str(ref)]) == 0
+        capsys.readouterr()
+        # Interrupted run: only part of the grid reached the journal.
+        assert main(["stamp", "kmeans", "sequential", "--scale", "0.1",
+                     "--resume", journal]) == 0
+        capsys.readouterr()
+        assert main(base + ["--stamp-json", str(out), "--resume", journal]) == 0
+        assert "from journal" in capsys.readouterr().err
+        assert ref.read_bytes() == out.read_bytes()
