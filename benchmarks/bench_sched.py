@@ -1,0 +1,145 @@
+"""Scheduler microbench: driver steps/sec, scan vs kernel (docs/PERF.md).
+
+No paper figure covers the host-side scheduler — it is reproduction
+infrastructure — but every figure's wall-clock bottoms out in
+``Simulator.run``'s inner loop, so this benchmark is the repo's perf
+trajectory for that loop.  Thread programs yield pure :class:`Work`
+(no transactions, no memory traffic), making the run scheduler-bound:
+the measured rate is driver steps per wall-clock second, for both
+implementations selected by ``REPRO_SCHED``:
+
+* ``scan``   — the legacy O(T)-per-step linear scan (the pre-kernel
+  inner loop, kept for one release as the bit-identity reference);
+* ``kernel`` — the indexed min-heap (:mod:`repro.runtime.sched`).
+
+Running ``python benchmarks/bench_sched.py`` sweeps the thread grid
+and writes ``BENCH_sched.json`` (schema in docs/PERF.md); under
+pytest the same sweep also asserts the kernel's >= 2x step-rate at 28
+threads.  Knobs:
+
+* ``REPRO_BENCH_SCHED_THREADS`` — space-separated grid override
+  (default ``1 4 14 28 64``);
+* ``REPRO_BENCH_SCHED_STEPS``   — total steps per measurement
+  (default 60000; CI's perf-smoke uses a smaller value);
+* ``REPRO_BENCH_SCHED_JSON``    — output path (default
+  ``BENCH_sched.json`` in the working directory).
+"""
+
+import json
+import os
+import time
+
+from repro.runtime import Simulator, TinySTMBackend, Work
+
+DEFAULT_THREADS = (1, 4, 14, 28, 64)
+DEFAULT_TOTAL_STEPS = 60_000
+#: acceptance floor for the kernel at the paper's 28-thread point.
+TARGET_SPEEDUP_AT_28 = 2.0
+
+
+def _thread_grid():
+    raw = os.environ.get("REPRO_BENCH_SCHED_THREADS", "")
+    if raw.strip():
+        return tuple(int(token) for token in raw.split())
+    return DEFAULT_THREADS
+
+
+def _total_steps():
+    return int(os.environ.get("REPRO_BENCH_SCHED_STEPS", DEFAULT_TOTAL_STEPS))
+
+
+def _make_program(steps_per_thread):
+    def program(tid):
+        for _ in range(steps_per_thread):
+            yield Work(10)
+
+    return program
+
+
+def _measure(impl, n_threads, total_steps):
+    """One timed run; returns (steps, seconds, steps_per_sec)."""
+    steps_per_thread = max(50, total_steps // n_threads)
+    saved = os.environ.get("REPRO_SCHED")
+    os.environ["REPRO_SCHED"] = impl
+    try:
+        sim = Simulator(TinySTMBackend(), n_threads)
+        program = _make_program(steps_per_thread)
+        started = time.perf_counter()
+        sim.run([program] * n_threads)
+        elapsed = time.perf_counter() - started
+    finally:
+        if saved is None:
+            del os.environ["REPRO_SCHED"]
+        else:
+            os.environ["REPRO_SCHED"] = saved
+    # One step per Work yield plus the StopIteration step per thread.
+    steps = n_threads * (steps_per_thread + 1)
+    return steps, elapsed, steps / elapsed
+
+
+def sweep():
+    """The full grid; returns the BENCH_sched.json payload."""
+    total_steps = _total_steps()
+    rows = []
+    for n_threads in _thread_grid():
+        steps, scan_s, scan_rate = _measure("scan", n_threads, total_steps)
+        _, kernel_s, kernel_rate = _measure("kernel", n_threads, total_steps)
+        rows.append(
+            {
+                "threads": n_threads,
+                "steps": steps,
+                "scan_steps_per_sec": round(scan_rate, 1),
+                "kernel_steps_per_sec": round(kernel_rate, 1),
+                "scan_wall_s": round(scan_s, 6),
+                "kernel_wall_s": round(kernel_s, 6),
+                "speedup": round(kernel_rate / scan_rate, 3),
+            }
+        )
+    return {
+        "benchmark": "sched",
+        "unit": "driver steps per wall-clock second",
+        "workload": "Work-only programs (scheduler-bound)",
+        "target_speedup_at_28": TARGET_SPEEDUP_AT_28,
+        "results": rows,
+    }
+
+
+def write_stamp(payload):
+    path = os.environ.get("REPRO_BENCH_SCHED_JSON", "BENCH_sched.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def print_report(payload):
+    print(f"{'T':>4} {'scan steps/s':>14} {'kernel steps/s':>15} {'speedup':>8}")
+    for row in payload["results"]:
+        print(
+            f"{row['threads']:>4} {row['scan_steps_per_sec']:>14.0f} "
+            f"{row['kernel_steps_per_sec']:>15.0f} {row['speedup']:>7.2f}x"
+        )
+
+
+def test_kernel_step_rate(benchmark):
+    payload = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_report(payload)
+    write_stamp(payload)
+    # The kernel must never regress below the scan at any grid point…
+    for row in payload["results"]:
+        assert row["speedup"] > 0.8, row
+    # …and must clear the 2x acceptance floor at the 28-thread point.
+    gate = [r for r in payload["results"] if r["threads"] == 28]
+    if gate:
+        assert gate[0]["speedup"] >= TARGET_SPEEDUP_AT_28, gate[0]
+
+
+def main():
+    payload = sweep()
+    print_report(payload)
+    path = write_stamp(payload)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

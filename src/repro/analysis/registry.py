@@ -91,6 +91,21 @@ EVENT_SCHEMAS: Dict[str, EventSchema] = {
         _schema("fault", "chaos engine", "kind", "count"),
         _schema("failover", "degradation ladder", "mode", "timeouts"),
         _schema("failback", "degradation ladder", "mode", "timeouts"),
+        # End-of-run scheduler-kernel counters; the payload mirrors
+        # SchedulerKernel.snapshot() field for field.  Never enters
+        # RunStats — observable only over the bus, so enabling the
+        # kernel cannot move a benchmark byte.
+        _schema(
+            "sched",
+            "driver",
+            "picks",
+            "pushes",
+            "stale_pops",
+            "lazy_invalidation_ratio",
+            "wakes",
+            "wakes_coalesced",
+            "heap_high_water",
+        ),
     )
 }
 
@@ -205,6 +220,14 @@ METRICS: Tuple[MetricSpec, ...] = (
     _counter("fault.", "injected faults by kind", dynamic=True),
     _counter("ladder.failovers", "fpga->software transitions"),
     _counter("ladder.failbacks", "software->fpga transitions"),
+    # sched.* — the scheduling kernel (repro.runtime.sched).
+    _counter("sched.picks", "valid heap pops (scheduler decisions)"),
+    _counter("sched.pushes", "heap entries pushed"),
+    _counter("sched.stale_pops", "lazily-invalidated entries discarded"),
+    _counter("sched.wakes", "parked threads unblocked"),
+    _counter("sched.wakes_coalesced", "wakes merged into the thread's own timeline"),
+    _gauge("sched.heap_high_water", "peak heap size"),
+    _gauge("sched.lazy_invalidation_ratio", "stale pops per total pop"),
     # runner.* — the supervised execution layer (repro.exec.supervise).
     _counter("runner.cells", "cells completed under supervision"),
     _counter("runner.journal_hits", "cells served from the sweep journal"),

@@ -169,14 +169,15 @@ class TraceCC:
         bus=None,
     ) -> TraceResult:
         """Replay *trace*; ``observer(view, committed)`` — if given —
-        sees every materialized transaction and its fate.  ``bus`` — an
-        :class:`repro.runtime.events.EventBus` — additionally publishes
-        each transaction as begin/read/write/commit-or-abort events
-        carrying explicit ``attempt`` (the trace txn id) and read
-        ``version``, which is how the sanitizer
-        (:mod:`repro.sanitizer.tracecheck`) rebuilds the multi-version
-        history an algorithm actually committed on the same
-        instrumentation path the simulator uses."""
+        sees every materialized transaction and its fate.  ``bus`` —
+        anything satisfying the :class:`repro.runtime.driver.Emitter`
+        protocol (an :class:`repro.runtime.events.EventBus`, a full
+        Driver) — additionally publishes each transaction as
+        begin/read/write/commit-or-abort events carrying explicit
+        ``attempt`` (the trace txn id) and read ``version``, which is
+        how the sanitizer (:mod:`repro.sanitizer.tracecheck`) rebuilds
+        the multi-version history an algorithm actually committed on
+        the same instrumentation path the simulator uses."""
         store = VersionStore()
         committed: List[CommittedTxn] = []
         decisions: List[bool] = []
@@ -197,25 +198,32 @@ class TraceCC:
 
     @staticmethod
     def _publish(bus, view: TxnView, ok: bool) -> None:
-        """One transaction's fate as events (tid -1: no sim thread)."""
+        """One transaction's fate as events (tid -1: no sim thread).
+
+        Emissions are ``wants()``-gated like the simulator's: replays
+        with no subscriber for a kind skip event construction."""
         from ..runtime.events import SimEvent
 
-        bus.emit(SimEvent("begin", -1, view.start, attempt=view.txn))
-        for read in view.reads:
-            bus.emit(
-                SimEvent(
-                    "read",
-                    -1,
-                    read.time,
-                    addr=read.addr,
-                    version=read.version,
+        if bus.wants("begin"):
+            bus.emit(SimEvent("begin", -1, view.start, attempt=view.txn))
+        if bus.wants("read"):
+            for read in view.reads:
+                bus.emit(
+                    SimEvent(
+                        "read",
+                        -1,
+                        read.time,
+                        addr=read.addr,
+                        version=read.version,
+                    )
                 )
-            )
-        for write in view.writes:
-            bus.emit(SimEvent("write", -1, write.time, addr=write.addr))
+        if bus.wants("write"):
+            for write in view.writes:
+                bus.emit(SimEvent("write", -1, write.time, addr=write.addr))
         if ok:
-            bus.emit(SimEvent("commit", -1, view.commit_time))
-        else:
+            if bus.wants("commit"):
+                bus.emit(SimEvent("commit", -1, view.commit_time))
+        elif bus.wants("abort"):
             bus.emit(SimEvent("abort", -1, view.commit_time, cause="validation"))
 
     def _materialize(self, txn_trace: TxnTrace, store: VersionStore) -> TxnView:

@@ -78,7 +78,8 @@ class DegradationManager:
         self.primary = primary
         self.software = software
         self.policy = policy or DegradationPolicy()
-        #: event bus for failover/failback transitions (set by the
+        #: emission surface for failover/failback transitions — anything
+        #: satisfying :class:`repro.runtime.driver.Emitter` (set by the
         #: owning backend's ``attach``; None outside a simulation).
         self.bus = None
         self.mode = MODE_FPGA

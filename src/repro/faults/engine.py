@@ -74,9 +74,10 @@ class ChaosValidationEngine:
     ):
         self.inner = inner if inner is not None else FpgaValidationEngine()
         self.plan = plan if plan is not None else FaultPlan()
-        #: event bus for ``fault`` events (set by the owning backend's
-        #: ``attach``; None outside a simulation).  Injections are
-        #: published as per-kind count deltas around each submission.
+        #: emission surface for ``fault`` events — anything satisfying
+        #: :class:`repro.runtime.driver.Emitter` (set by the owning
+        #: backend's ``attach``; None outside a simulation).  Injections
+        #: are published as per-kind count deltas around each submission.
         self.bus = None
         #: per-request CPU-side patience; None blocks forever (faults
         #: then only stretch latency, they never raise).

@@ -68,6 +68,13 @@ class FpgaValidationEngine:
         self.manager = ValidationManager(config, window)
         self.clock = clock or ClockDomain()
         self.link = link or harp2_cci_link()
+        #: the owning backend's emission surface, wired by
+        #: ``RococoTMBackend.attach`` — anything satisfying
+        #: :class:`repro.runtime.driver.Emitter` (an EventBus, a full
+        #: Driver), or None when driven standalone.  The base engine
+        #: publishes nothing itself; subclasses (the chaos engine) use
+        #: it for their wants()-gated fault streams.
+        self.bus = None
         self._pipeline_free_ns = 0.0
         self.stats_busy_cycles = 0
         self.stats_requests = 0

@@ -8,6 +8,12 @@ update + bookkeeping shift on commit.  It composes
 :class:`repro.core.window.WindowMatrix` (reachability), keeping the
 two shift registers in lock-step exactly as the commit broadcast in
 Fig. 5 does.
+
+The manager sits *below* the Driver boundary (see
+:mod:`repro.runtime.driver`): it is purely functional over its own
+state and never touches the simulator, the event bus, or simulated
+time — timing and emission live in the engine above it
+(:mod:`repro.hw.engine`), which holds the Emitter surface.
 """
 
 from __future__ import annotations

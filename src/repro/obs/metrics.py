@@ -188,6 +188,7 @@ class MetricsCollector:
         "fault",
         "failover",
         "failback",
+        "sched",
     )
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
@@ -268,3 +269,14 @@ class MetricsCollector:
             reg.count("ladder.failovers")
         elif kind == "failback":
             reg.count("ladder.failbacks")
+        elif kind == "sched":
+            data = event.data
+            reg.count("sched.picks", data["picks"])
+            reg.count("sched.pushes", data["pushes"])
+            reg.count("sched.stale_pops", data["stale_pops"])
+            reg.count("sched.wakes", data["wakes"])
+            reg.count("sched.wakes_coalesced", data["wakes_coalesced"])
+            reg.gauge("sched.heap_high_water", data["heap_high_water"])
+            reg.gauge(
+                "sched.lazy_invalidation_ratio", data["lazy_invalidation_ratio"]
+            )

@@ -4,6 +4,11 @@
   (the HARP2 Xeon substitute; see DESIGN.md).
 * API — :class:`Read`, :class:`Write`, :class:`Work`, :class:`Alloc`,
   :class:`Transaction` yielded by generator-coroutine workloads.
+* :class:`Driver` — the narrow protocol backends program against
+  (:mod:`repro.runtime.driver`); the Simulator implements it, and
+  :class:`ManualDriver` drives backends by hand in tests.
+* :class:`SchedulerKernel` — the O(log T) indexed min-heap scheduler
+  behind the simulator hot path (:mod:`repro.runtime.sched`).
 * Backends — :class:`SequentialBackend` (speedup denominator),
   :class:`CoarseLockBackend`, :class:`TinySTMBackend` (LSA),
   :class:`TsxBackend` (best-effort HTM), :class:`RococoTMBackend`
@@ -24,10 +29,12 @@ from .api import (
 )
 from .backend import CostModel, ParkThread, TMBackend
 from .coarse_lock import CoarseLockBackend, GlobalLock
+from .driver import Driver, Emitter, ManualDriver
 from .events import EVENT_KINDS, EventBus, SimEvent, StatsCollector
 from .memory import CELLS_PER_CACHELINE, Memory
 from .recording import HistoryRecorder, RecordingBackend
 from .rococotm import RococoTMBackend
+from .sched import SchedulerKernel
 from .sequential import SequentialBackend
 from .si_mvcc import SnapshotIsolationBackend
 from .simulator import Simulator
@@ -42,16 +49,20 @@ __all__ = [
     "CELLS_PER_CACHELINE",
     "CoarseLockBackend",
     "CostModel",
+    "Driver",
     "EVENT_KINDS",
     "EventBus",
+    "Emitter",
     "GlobalLock",
     "HistoryRecorder",
+    "ManualDriver",
     "Memory",
     "ParkThread",
     "Read",
     "RecordingBackend",
     "RococoTMBackend",
     "RunStats",
+    "SchedulerKernel",
     "SequentialBackend",
     "SimBarrier",
     "SimEvent",

@@ -8,8 +8,14 @@ surface in two ways:
 * raising :class:`TransactionAborted` — the driver rolls back,
   backs off and retries the body from scratch;
 * raising :class:`ParkThread` — the thread blocks with no wake time
-  of its own; the backend must later call ``simulator.wake(tid, at)``
+  of its own; the backend must later call ``driver.wake_at(tid, at)``
   (used for lock queues).  The parked operation is re-issued on wake.
+
+Backends program against the narrow :class:`repro.runtime.driver.
+Driver` protocol — ``attach`` receives the driver (the Simulator
+implements it) and a backend may only use the protocol surface:
+``n_threads`` / ``memory`` / ``stats`` / ``cost_model`` / ``bus``
+plus ``step_cost`` / ``park`` / ``wake_at`` / ``wants`` / ``emit``.
 
 ``CostModel`` centralizes the machine parameters shared by all
 backends; per-backend per-operation costs live in each backend, next
@@ -71,18 +77,27 @@ class TMBackend:
     def __init__(self) -> None:
         self.memory: Optional[Memory] = None
         self.stats: Optional[RunStats] = None
-        self.simulator = None
+        self.driver = None
         self._scale = 1.0
 
+    # -- deprecated alias (pre-Driver spelling) -------------------------
+    @property
+    def simulator(self):
+        return self.driver
+
     # ------------------------------------------------------------------
-    def attach(self, simulator) -> None:
-        """Wire the backend to a simulator before a run."""
-        self.simulator = simulator
-        self.memory = simulator.memory
-        self.stats = simulator.stats
-        self._scale = simulator.cost_model.compute_scale(
-            simulator.n_threads, self.metadata_footprint
-        )
+    def attach(self, driver) -> None:
+        """Wire the backend to a :class:`repro.runtime.driver.Driver`
+        before a run (the Simulator implements the protocol)."""
+        self.driver = driver
+        self.memory = driver.memory
+        self.stats = driver.stats
+        if hasattr(driver, "step_cost"):
+            self._scale = driver.step_cost(1.0, self.metadata_footprint)
+        else:  # bare fakes exposing only the attribute surface
+            self._scale = driver.cost_model.compute_scale(
+                driver.n_threads, self.metadata_footprint
+            )
 
     def scaled(self, ns: float) -> float:
         """A CPU-side cost under the current SMT regime."""

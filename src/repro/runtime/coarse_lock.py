@@ -15,7 +15,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Optional, Tuple
 
-from .backend import ParkThread, TMBackend
+from .backend import TMBackend
 from .sequential import LOAD_NS, STORE_NS
 
 ACQUIRE_NS = 18.0        # CAS + fence with the line already local
@@ -35,7 +35,7 @@ class GlobalLock:
     def held(self) -> bool:
         return self.holder is not None
 
-    def acquire(self, tid: int, now: float, simulator) -> float:
+    def acquire(self, tid: int, now: float, driver) -> float:
         """Returns the acquisition time, or parks the caller."""
         if self.holder is None:
             cost = ACQUIRE_NS
@@ -46,14 +46,14 @@ class GlobalLock:
             return now + cost
         if tid not in self.waiters:
             self.waiters.append(tid)
-        raise ParkThread()
+        driver.park(tid)
 
-    def release(self, tid: int, now: float, simulator) -> float:
+    def release(self, tid: int, now: float, driver) -> float:
         if self.holder != tid:
             raise RuntimeError(f"thread {tid} releasing a lock it does not hold")
         self.holder = None
         if self.waiters:
-            simulator.wake(self.waiters.popleft(), now + RELEASE_NS)
+            driver.wake_at(self.waiters.popleft(), now + RELEASE_NS)
         return now + RELEASE_NS
 
 
@@ -68,7 +68,7 @@ class CoarseLockBackend(TMBackend):
         self.lock = GlobalLock()
 
     def begin(self, tid: int, now: float) -> float:
-        return self.lock.acquire(tid, now, self.simulator)
+        return self.lock.acquire(tid, now, self.driver)
 
     def read(self, tid: int, addr: int, now: float) -> Tuple[Any, float]:
         return self.memory.load(addr), now + self.scaled(LOAD_NS)
@@ -78,7 +78,7 @@ class CoarseLockBackend(TMBackend):
         return now + self.scaled(STORE_NS)
 
     def commit(self, tid: int, now: float) -> float:
-        return self.lock.release(tid, now, self.simulator)
+        return self.lock.release(tid, now, self.driver)
 
     def rollback(self, tid: int, now: float, cause: str) -> float:  # pragma: no cover
         raise AssertionError("lock-based execution cannot abort")

@@ -40,7 +40,7 @@ from ..faults.degradation import (
 from ..hw import FpgaValidationEngine, SoftwareValidationEngine, ValidationRequest
 from ..signatures import BloomSignature, SignatureConfig
 from .api import TransactionAborted
-from .backend import ParkThread, TMBackend
+from .backend import TMBackend
 from .coarse_lock import GlobalLock
 from .events import SimEvent
 
@@ -149,16 +149,15 @@ class RococoTMBackend(TMBackend):
         self.stats_irrevocable_commits = 0
 
     # ------------------------------------------------------------------
-    def attach(self, simulator) -> None:
-        super().attach(simulator)
+    def attach(self, driver) -> None:
+        super().attach(driver)
         # Observability wiring: the degradation ladder and (when
         # present) the chaos engine publish their transitions on the
         # run's bus.  Emissions are wants()-gated, so with no tracer
         # or metrics collector attached this costs nothing.
-        bus = getattr(simulator, "bus", None)  # tolerate bare fakes
+        bus = getattr(driver, "bus", None)  # tolerate bare fakes
         self.degradation.bus = bus
-        if hasattr(self.engine, "bus"):
-            self.engine.bus = bus
+        self.engine.bus = bus
 
     # ------------------------------------------------------------------
     def begin(self, tid: int, now: float) -> float:
@@ -167,12 +166,12 @@ class RococoTMBackend(TMBackend):
             # readers could not keep a consistent snapshot against its
             # in-place writes, so everyone waits for it to finish.
             self._lock_watchers.append(tid)
-            raise ParkThread()
+            self.driver.park(tid)
         if tid in self._force_irrevocable or (
             self.irrevocable_after is not None
             and self._failures.get(tid, 0) >= self.irrevocable_after
         ):
-            at = self._irrevocable_lock.acquire(tid, now, self.simulator)
+            at = self._irrevocable_lock.acquire(tid, now, self.driver)
             self._irrevocable.add(tid)
             self._force_irrevocable.discard(tid)
         else:
@@ -304,7 +303,7 @@ class RococoTMBackend(TMBackend):
             raise TransactionAborted("fpga-unavailable", at_ns=outage.at_ns) from None
         self.stats.validation_ns += response.ready_ns - now
         self.stats.validations += 1
-        bus = getattr(self.simulator, "bus", None)
+        bus = getattr(self.driver, "bus", None)
         if bus is not None and bus.wants("validate"):
             self._publish_validation(bus, tid, request, response)
         if not response.verdict.committed:
@@ -418,9 +417,9 @@ class RococoTMBackend(TMBackend):
         self._failures[tid] = 0
         self.stats_irrevocable_commits += 1
         self._txns.pop(tid, None)
-        ready = self._irrevocable_lock.release(tid, writeback_end, self.simulator)
+        ready = self._irrevocable_lock.release(tid, writeback_end, self.driver)
         for watcher in self._lock_watchers:
-            self.simulator.wake(watcher, ready)
+            self.driver.wake_at(watcher, ready)
         self._lock_watchers.clear()
         return ready
 

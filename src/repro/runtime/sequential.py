@@ -21,10 +21,10 @@ class SequentialBackend(TMBackend):
     name = "sequential"
     metadata_footprint = 0.0
 
-    def attach(self, simulator) -> None:
-        if simulator.n_threads != 1:
+    def attach(self, driver) -> None:
+        if driver.n_threads != 1:
             raise ValueError("the sequential baseline is single-threaded")
-        super().attach(simulator)
+        super().attach(driver)
 
     def begin(self, tid: int, now: float) -> float:
         return now

@@ -63,8 +63,8 @@ class SnapshotIsolationBackend(TMBackend):
         #: True while commit() installs its own stores (observer guard).
         self._installing = False
 
-    def attach(self, simulator) -> None:
-        super().attach(simulator)
+    def attach(self, driver) -> None:
+        super().attach(driver)
         self.memory.subscribe(self._on_external_store)
 
     def _on_external_store(self, addr: int, value: Any) -> None:

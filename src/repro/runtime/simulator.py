@@ -14,6 +14,20 @@ transaction bodies yield :class:`Read`/:class:`Write`/:class:`Work`/
 :class:`Alloc` (see :mod:`repro.runtime.api`).  The driver implements
 the retry loop: abort -> rollback -> exponential backoff -> fresh body.
 
+The *pick the next thread* decision lives in
+:class:`repro.runtime.sched.SchedulerKernel` — an indexed min-heap
+keyed by ``(clock, tid)`` with lazy invalidation, O(log T) per step
+where the original inner loop rebuilt the runnable list and scanned
+all T threads per event.  The kernel is schedule-preserving by
+construction (same tie-break key), which the bit-identity gate
+enforces against the legacy scan scheduler, kept for one release
+behind ``REPRO_SCHED=scan``.
+
+Backends program against the narrow :class:`repro.runtime.driver.
+Driver` protocol — ``step_cost`` / ``park`` / ``wake_at`` / ``emit``
+plus the run parameters — which this class implements; nothing outside
+this module touches ``_Thread`` or the kernel.
+
 Every state transition the driver makes — step, begin, read, write,
 commit, abort, park/wake, backoff — is published on ``self.bus``
 (:class:`repro.runtime.events.EventBus`).  Statistics accumulation,
@@ -23,9 +37,10 @@ subscribers; nothing else observes the driver.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, List, Optional, Sequence
+from typing import Any, Callable, Generator, List, NoReturn, Optional, Sequence
 
 from .api import (
     Alloc,
@@ -39,10 +54,21 @@ from .api import (
 from .backend import CostModel, ParkThread, TMBackend
 from .events import EventBus, SimEvent, StatsCollector
 from .memory import Memory
+from .sched import SchedulerKernel
 from .stats import RunStats
 
 #: cost of the allocator fast path (a bump pointer), ns.
 ALLOC_NS = 4.0
+
+#: env knob selecting the scheduler implementation: ``scan`` re-enables
+#: the legacy O(T)-per-step linear scan (kept for one release as the
+#: bit-identity reference and escape hatch), anything else — including
+#: unset — uses the heap kernel.  See docs/PERF.md.
+SCHED_ENV = "REPRO_SCHED"
+
+
+def _sched_impl() -> str:
+    return os.environ.get(SCHED_ENV, "kernel") or "kernel"
 
 
 @dataclass
@@ -55,6 +81,8 @@ class _Thread:
     #: active transaction state (None outside transactions).
     txn: Optional["_TxnState"] = None
     parked: bool = False
+    #: why the thread parked (deadlock diagnostics); None when running.
+    park_cause: Optional[str] = None
     done: bool = False
     rng: random.Random = field(default_factory=random.Random)
 
@@ -73,7 +101,12 @@ class _TxnState:
 
 
 class Simulator:
-    """Runs thread programs against one backend; collects RunStats."""
+    """Runs thread programs against one backend; collects RunStats.
+
+    Implements the :class:`repro.runtime.driver.Driver` protocol — the
+    object handed to ``backend.attach`` *is* this simulator, but
+    backends may only use the protocol surface.
+    """
 
     def __init__(
         self,
@@ -102,7 +135,52 @@ class Simulator:
         self.bus = EventBus()
         StatsCollector(self.stats).install(self.bus)
         self._threads: List[_Thread] = []
+        #: the scheduling kernel of the current run (None before the
+        #: run starts and on the legacy ``REPRO_SCHED=scan`` path).
+        self._kernel: Optional[SchedulerKernel] = None
+        #: Work-op scale, cached off the per-step path (constant for a
+        #: run: pure function of cost model and thread count).
+        self._work_scale = self.cost_model.compute_scale(n_threads)
         backend.attach(self)
+
+    # ------------------------------------------------------------------
+    # The Driver protocol (repro.runtime.driver): the only surface
+    # backends and the hw/validation layers may program against.
+    # ------------------------------------------------------------------
+    def step_cost(self, ns: float, footprint: float = 1.0) -> float:
+        """A nominal CPU cost scaled for the current SMT regime."""
+        return ns * self.cost_model.compute_scale(self.n_threads, footprint)
+
+    def park(self, tid: int) -> NoReturn:
+        """Abandon the current operation; the thread blocks and the
+        operation is re-issued after :meth:`wake_at`."""
+        raise ParkThread()
+
+    def wake_at(self, tid: int, at_ns: float) -> None:
+        """Unpark a thread (backends call this on lock release)."""
+        thread = self._threads[tid]
+        if not thread.parked:
+            raise RuntimeError(f"thread {tid} is not parked")
+        thread.parked = False
+        thread.park_cause = None
+        coalesced = at_ns <= thread.clock
+        thread.clock = max(thread.clock, at_ns)
+        if self.bus.wants("wake"):
+            self.bus.emit(SimEvent("wake", tid, thread.clock))
+        if self._kernel is not None:
+            self._kernel.wake(tid, thread.clock, coalesced)
+
+    def wants(self, kind: str) -> bool:
+        return self.bus.wants(kind)
+
+    def emit(self, event: SimEvent) -> None:
+        """wants()-gated publish — the backend-facing emission path."""
+        if self.bus.wants(event.kind):
+            self.bus.emit(event)
+
+    # -- deprecated alias (pre-Driver spelling) -------------------------
+    def wake(self, tid: int, at_ns: float) -> None:
+        self.wake_at(tid, at_ns)
 
     # ------------------------------------------------------------------
     def _hook(self, fn, *args):
@@ -132,6 +210,65 @@ class Simulator:
             )
             for tid, make in enumerate(programs)
         ]
+        self._kernel = None
+        if _sched_impl() == "scan":
+            self._run_scan()
+        else:
+            self._run_kernel()
+        self.stats.makespan_ns = max(t.clock for t in self._threads)
+        self._hook(self.backend.run_finished)
+        kernel = self._kernel
+        if kernel is not None and self.bus.wants("sched"):
+            self.bus.emit(
+                SimEvent(
+                    "sched", -1, self.stats.makespan_ns, data=kernel.snapshot()
+                )
+            )
+        return self.stats
+
+    def _run_kernel(self) -> None:
+        """The O(log T)-per-step inner loop over the heap kernel."""
+        threads = self._threads
+        kernel = SchedulerKernel(len(threads))
+        self._kernel = kernel
+        for thread in threads:
+            kernel.add(thread.tid, thread.clock)
+        bus = self.bus
+        wants = bus.wants
+        emit = bus.emit
+        pick = kernel.pick
+        reschedule = kernel.reschedule
+        retire = kernel.retire
+        step = self._step
+        max_steps = self.max_steps
+        steps = 0
+        while True:
+            tid = pick()
+            if tid < 0:
+                if kernel.n_live:
+                    raise RuntimeError(self._deadlock_message())
+                break
+            if steps >= max_steps:
+                raise RuntimeError(self._livelock_message(steps))
+            thread = threads[tid]
+            if wants("step"):
+                emit(SimEvent("step", tid, thread.clock))
+            step(thread)
+            steps += 1
+            if thread.done:
+                retire(tid)
+            elif not thread.parked:
+                reschedule(tid, thread.clock)
+            # parked: kernel.park already ran inside _park().
+
+    def _run_scan(self) -> None:
+        """The legacy O(T)-per-step linear scan (``REPRO_SCHED=scan``).
+
+        Kept for one release as the bit-identity reference the kernel
+        is gated against; scheduled for removal once the gate has aged
+        through a release.  Must never diverge from the kernel path in
+        anything but complexity.
+        """
         steps = 0
         bus = self.bus
         while True:
@@ -140,37 +277,50 @@ class Simulator:
             ]
             if not runnable:
                 if any(t.parked for t in self._threads):
-                    raise RuntimeError(
-                        "deadlock: all live threads are parked"
-                    )
+                    raise RuntimeError(self._deadlock_message())
                 break
+            if steps >= self.max_steps:
+                raise RuntimeError(self._livelock_message(steps))
             thread = min(runnable, key=lambda t: (t.clock, t.tid))
             if bus.wants("step"):
                 bus.emit(SimEvent("step", thread.tid, thread.clock))
             self._step(thread)
             steps += 1
-            if steps > self.max_steps:
-                raise RuntimeError("simulation exceeded max_steps (livelock?)")
-        self.stats.makespan_ns = max(t.clock for t in self._threads)
-        self._hook(self.backend.run_finished)
-        return self.stats
 
-    def wake(self, tid: int, at_ns: float) -> None:
-        """Unpark a thread (backends call this on lock release)."""
-        thread = self._threads[tid]
-        if not thread.parked:
-            raise RuntimeError(f"thread {tid} is not parked")
-        thread.parked = False
-        thread.clock = max(thread.clock, at_ns)
-        if self.bus.wants("wake"):
-            self.bus.emit(SimEvent("wake", tid, thread.clock))
+    # ------------------------------------------------------------------
+    def _livelock_message(self, steps: int) -> str:
+        return (
+            f"simulation exceeded max_steps={self.max_steps} after "
+            f"{steps} steps (livelock?); " + self._thread_snapshot()
+        )
+
+    def _deadlock_message(self) -> str:
+        return (
+            "deadlock: all live threads are parked; " + self._thread_snapshot()
+        )
+
+    def _thread_snapshot(self) -> str:
+        """Per-thread state for hang diagnostics in CI logs."""
+        states = []
+        for t in self._threads:
+            if t.done:
+                state = "done"
+            elif t.parked:
+                state = f"parked({t.park_cause})"
+            else:
+                state = "runnable"
+            states.append(f"t{t.tid} {state} clock={t.clock:.0f}ns")
+        return "threads: " + ", ".join(states)
 
     def _park(self, thread: _Thread, reason: str) -> None:
         thread.parked = True
+        thread.park_cause = reason
         if self.bus.wants("park"):
             self.bus.emit(
                 SimEvent("park", thread.tid, thread.clock, cause=reason)
             )
+        if self._kernel is not None:
+            self._kernel.park(thread.tid)
 
     # ------------------------------------------------------------------
     def _step(self, thread: _Thread) -> None:
@@ -187,7 +337,7 @@ class Simulator:
             return
         thread.program_value = None
         if isinstance(op, Work):
-            thread.clock += op.ns * self.cost_model.compute_scale(self.n_threads)
+            thread.clock += op.ns * self._work_scale
         elif isinstance(op, Transaction):
             thread.txn = _TxnState(make_body=op.body, label=op.label)
             self._begin_attempt(thread)
@@ -201,13 +351,17 @@ class Simulator:
         if len(barrier.waiting) < barrier.parties:
             self._park(thread, "barrier")
             return
-        release = max(clock for _, clock in barrier.waiting) + barrier.cost_ns
-        for tid, _ in barrier.waiting:
+        # Detach this batch before releasing anyone: the barrier object
+        # is reusable, and a woken thread re-arriving must land in a
+        # fresh waiting list, never the one being released.
+        arrivals = barrier.waiting
+        barrier.waiting = []
+        release = max(clock for _, clock in arrivals) + barrier.cost_ns
+        for tid, _ in arrivals:
             if tid == thread.tid:
                 thread.clock = release
             else:
-                self.wake(tid, release)
-        barrier.waiting.clear()
+                self.wake_at(tid, release)
 
     def _begin_attempt(self, thread: _Thread) -> None:
         txn = thread.txn
@@ -318,7 +472,7 @@ class Simulator:
                     )
                 )
         elif isinstance(op, Work):
-            thread.clock += op.ns * self.cost_model.compute_scale(self.n_threads)
+            thread.clock += op.ns * self._work_scale
         elif isinstance(op, Alloc):
             txn.body_value = self.memory.alloc(op.cells)
             thread.clock += ALLOC_NS

@@ -73,10 +73,10 @@ class TinySTMBackend(TMBackend):
         self._txns: Dict[int, _TxnState] = {}
         self._read_ns = READ_NS
 
-    def attach(self, simulator) -> None:
-        super().attach(simulator)
+    def attach(self, driver) -> None:
+        super().attach(driver)
         self._read_ns = READ_NS + OREC_COHERENCE_NS_PER_THREAD * max(
-            0, simulator.n_threads - 1
+            0, driver.n_threads - 1
         )
 
     # ------------------------------------------------------------------

@@ -92,7 +92,7 @@ class TsxBackend(TMBackend):
     def begin(self, tid: int, now: float) -> float:
         if self._failures.get(tid, 0) >= self.hardware_attempts:
             # Fallback path: serialize under the global lock.
-            at = self.fallback.acquire(tid, now, self.simulator)
+            at = self.fallback.acquire(tid, now, self.driver)
             self._fallback_mode.add(tid)
             self._doom_all_hardware("cpu-lock-subscription")
             return at
@@ -142,7 +142,7 @@ class TsxBackend(TMBackend):
         if tid in self._fallback_mode:
             self._fallback_mode.discard(tid)
             self._failures[tid] = 0
-            return self.fallback.release(tid, now, self.simulator)
+            return self.fallback.release(tid, now, self.driver)
         txn = self._checked(tid)
         if not txn.write_lines:
             self.stats.read_only_commits += 1
@@ -163,7 +163,7 @@ class TsxBackend(TMBackend):
     # ------------------------------------------------------------------
     def _spurious_check(self, tid: int) -> None:
         """Deterministic pseudo-random microarchitectural abort."""
-        if self.simulator.n_threads <= self.simulator.cost_model.physical_cores:
+        if self.driver.n_threads <= self.driver.cost_model.physical_cores:
             rate = SPURIOUS_PER_OP
         else:
             rate = SPURIOUS_PER_OP_SMT

@@ -3,12 +3,10 @@
 import pytest
 
 from repro.runtime import (
-    CostModel,
     Memory,
     ParkThread,
     Read,
     RococoTMBackend,
-    RunStats,
     Simulator,
     Transaction,
     TransactionAborted,
@@ -16,25 +14,12 @@ from repro.runtime import (
     Write,
 )
 from repro.runtime.coarse_lock import RELEASE_NS
-
-
-class FakeSim:
-    """Just enough simulator for driving a backend by hand."""
-
-    def __init__(self, n_threads=4):
-        self.memory = Memory()
-        self.stats = RunStats()
-        self.n_threads = n_threads
-        self.cost_model = CostModel()
-        self.wakes = []
-
-    def wake(self, tid, at):
-        self.wakes.append((tid, at))
+from repro.runtime.driver import ManualDriver
 
 
 def manual_backend(**kwargs):
     backend = RococoTMBackend(**kwargs)
-    sim = FakeSim()
+    sim = ManualDriver(n_threads=4)
     backend.attach(sim)
     return backend, sim
 
