@@ -1,0 +1,247 @@
+"""Cluster scale-out sweep: shards x per-shard threads (docs/CLUSTER.md).
+
+No paper figure covers the sharded cluster — it is a scale-out
+extension of the reproduced single-node system — but its acceptance
+story mirrors Fig. 10's: throughput (committed transactions per
+simulated second) across the shard grid, at a *fixed per-node thread
+count* (the scale-out regime: adding a shard adds a node with its own
+threads, FPGA engine and window).  Alongside raw throughput the sweep
+reports the two ratios the cluster design pivots on:
+
+* **fast-path ratio** — the fraction of commits that stayed on one
+  shard (local validation, no coordination), from the ``shard.*``
+  metric family;
+* **cross-shard abort rate** — certify refusals per attempt, the
+  price of distributed conflicts under two-phase validation.
+
+Partition-friendly workloads (``ssca2``, ``kmeans-low``) scale near
+linearly; ``vacation-high`` pays the cross-shard penalty (most
+commits span shards and eat the 2PC latency), which is the documented
+trade-off, not a defect.  All numbers are simulated time, so the
+sweep is bit-deterministic and the committed baseline
+(``BENCH_cluster_baseline.json``) is byte-comparable across hosts.
+
+Knobs:
+
+* ``REPRO_BENCH_CLUSTER_SHARDS``   — shard grid (default ``1 2 4 8``);
+* ``REPRO_BENCH_CLUSTER_THREADS``  — threads *per shard* (default 4);
+* ``REPRO_BENCH_CLUSTER_SCALE``    — workload scale (default 0.25);
+* ``REPRO_BENCH_CLUSTER_WORKLOADS``— workload list (default
+  ``ssca2 kmeans-low vacation-high``);
+* ``REPRO_BENCH_CLUSTER_JSON``     — output path (default
+  ``BENCH_cluster.json`` in the working directory).
+"""
+
+import json
+import os
+
+from repro.exec import ExperimentSpec, SerialRunner
+
+DEFAULT_SHARDS = (1, 2, 4, 8)
+DEFAULT_THREADS_PER_SHARD = 4
+DEFAULT_SCALE = 0.25
+DEFAULT_WORKLOADS = ("ssca2", "kmeans-low", "vacation-high")
+#: acceptance floor: 8 shards must at least double 1-shard throughput
+#: on a partition-friendly workload.
+TARGET_SPEEDUP_AT_8 = 2.0
+#: the workload the 2x gate applies to.
+GATE_WORKLOAD = "ssca2"
+#: the workload expected to show the cross-shard penalty.
+PENALTY_WORKLOAD = "vacation-high"
+
+
+def _shard_grid():
+    raw = os.environ.get("REPRO_BENCH_CLUSTER_SHARDS", "")
+    if raw.strip():
+        return tuple(int(token) for token in raw.split())
+    return DEFAULT_SHARDS
+
+
+def _threads_per_shard():
+    return int(
+        os.environ.get("REPRO_BENCH_CLUSTER_THREADS", DEFAULT_THREADS_PER_SHARD)
+    )
+
+
+def _scale():
+    return float(os.environ.get("REPRO_BENCH_CLUSTER_SCALE", DEFAULT_SCALE))
+
+
+def _workloads():
+    raw = os.environ.get("REPRO_BENCH_CLUSTER_WORKLOADS", "")
+    if raw.strip():
+        return tuple(raw.split())
+    return DEFAULT_WORKLOADS
+
+
+def _spec(workload, shards, threads_per_shard, scale):
+    return ExperimentSpec(
+        workload,
+        "ClusterTM",
+        threads_per_shard * shards,
+        scale=scale,
+        seed=1,
+        shards=shards,
+        obs=True,
+    )
+
+
+def _row(stats, shards, threads_per_shard):
+    counters = stats.metrics["counters"] if stats.metrics else {}
+    single = counters.get("shard.single_commits", 0)
+    cross = counters.get("shard.cross_commits", 0)
+    routed = single + cross
+    attempts = stats.commits + stats.aborts
+    return {
+        "shards": shards,
+        "threads": threads_per_shard * shards,
+        "commits": stats.commits,
+        "aborts": stats.aborts,
+        "makespan_ns": stats.makespan_ns,
+        # Committed txns per simulated millisecond.
+        "throughput_per_ms": round(stats.commits / stats.makespan_ns * 1e6, 4),
+        "fast_path_ratio": round(single / routed, 4) if routed else None,
+        "cross_shard_abort_rate": round(
+            counters.get("shard.cross_aborts", 0) / attempts, 4
+        )
+        if attempts
+        else 0.0,
+    }
+
+
+def sweep():
+    """The full grid; returns the BENCH_cluster.json payload."""
+    shard_grid = _shard_grid()
+    threads_per_shard = _threads_per_shard()
+    scale = _scale()
+    workloads = _workloads()
+    runner = SerialRunner()
+
+    specs = [
+        _spec(workload, shards, threads_per_shard, scale)
+        for workload in workloads
+        for shards in shard_grid
+    ]
+    # The shards=1 identity reference: plain ROCoCoTM at the same
+    # thread count must be decision-identical to the 1-shard cluster.
+    identity_specs = [
+        ExperimentSpec(
+            workload, "ROCoCoTM", threads_per_shard, scale=scale, seed=1
+        )
+        for workload in workloads
+        if 1 in shard_grid
+    ]
+    results = runner.run(specs + identity_specs)
+    cluster_results = results[: len(specs)]
+    identity_results = results[len(specs):]
+
+    series = {}
+    index = 0
+    for workload in workloads:
+        rows = []
+        for shards in shard_grid:
+            rows.append(_row(cluster_results[index], shards, threads_per_shard))
+            index += 1
+        base = next((r for r in rows if r["shards"] == 1), rows[0])
+        for row in rows:
+            row["speedup_vs_1_shard"] = round(
+                row["throughput_per_ms"] / base["throughput_per_ms"], 3
+            )
+        series[workload] = rows
+
+    identity = {}
+    for workload, stats in zip(
+        [w for w in workloads if 1 in _shard_grid()], identity_results
+    ):
+        cluster_row = next(
+            r for r in series[workload] if r["shards"] == 1
+        )
+        identity[workload] = {
+            "rococotm_makespan_ns": stats.makespan_ns,
+            "cluster_makespan_ns": cluster_row["makespan_ns"],
+            "identical": stats.makespan_ns == cluster_row["makespan_ns"]
+            and stats.commits == cluster_row["commits"],
+        }
+
+    return {
+        "benchmark": "cluster-scaleout",
+        "unit": "committed txns per simulated millisecond",
+        "threads_per_shard": threads_per_shard,
+        "scale": scale,
+        "target_speedup_at_8": TARGET_SPEEDUP_AT_8,
+        "gate_workload": GATE_WORKLOAD,
+        "penalty_workload": PENALTY_WORKLOAD,
+        "single_shard_identity": identity,
+        "results": {workload: series[workload] for workload in sorted(series)},
+    }
+
+
+def write_stamp(payload):
+    path = os.environ.get("REPRO_BENCH_CLUSTER_JSON", "BENCH_cluster.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def print_report(payload):
+    for workload, rows in payload["results"].items():
+        print(f"\n{workload} ({payload['threads_per_shard']} threads/shard)")
+        print(
+            f"{'shards':>7} {'threads':>8} {'txn/ms':>9} {'speedup':>8} "
+            f"{'fast-path':>10} {'x-abort':>8}"
+        )
+        for row in rows:
+            fast = (
+                f"{row['fast_path_ratio']:.2f}"
+                if row["fast_path_ratio"] is not None
+                else "-"
+            )
+            print(
+                f"{row['shards']:>7} {row['threads']:>8} "
+                f"{row['throughput_per_ms']:>9.2f} "
+                f"{row['speedup_vs_1_shard']:>7.2f}x {fast:>10} "
+                f"{row['cross_shard_abort_rate']:>8.3f}"
+            )
+    for workload, check in payload["single_shard_identity"].items():
+        status = "ok" if check["identical"] else "MISMATCH"
+        print(f"identity {workload}: cluster(1) == ROCoCoTM -> {status}")
+
+
+def _speedup_at(payload, workload, shards):
+    rows = payload["results"].get(workload, ())
+    row = next((r for r in rows if r["shards"] == shards), None)
+    return row["speedup_vs_1_shard"] if row else None
+
+
+def test_cluster_scaleout(benchmark):
+    payload = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_report(payload)
+    write_stamp(payload)
+    # The 1-shard cluster must be decision-identical to single-node
+    # ROCoCoTM on every workload in the sweep.
+    for workload, check in payload["single_shard_identity"].items():
+        assert check["identical"], (workload, check)
+    # Partition-friendly scale-out: >= 2x at 8 shards (when swept).
+    gate = _speedup_at(payload, GATE_WORKLOAD, 8)
+    if gate is not None:
+        assert gate >= TARGET_SPEEDUP_AT_8, payload["results"][GATE_WORKLOAD]
+    # The cross-shard penalty is visible: vacation-high scales worse
+    # than the gate workload at the largest swept shard count.
+    top = max(payload["results"].get(PENALTY_WORKLOAD, [{}])[-1].get("shards", 0), 0)
+    if top > 1 and _speedup_at(payload, GATE_WORKLOAD, top) is not None:
+        assert (
+            _speedup_at(payload, PENALTY_WORKLOAD, top)
+            < _speedup_at(payload, GATE_WORKLOAD, top)
+        ), (PENALTY_WORKLOAD, payload["results"][PENALTY_WORKLOAD])
+
+
+def main():
+    payload = sweep()
+    print_report(payload)
+    path = write_stamp(payload)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -87,7 +87,26 @@ EVENT_SCHEMAS: Dict[str, EventSchema] = {
             "reason",
             "window_resident",
             "mode",
+            "shard",
         ),
+        # Cluster layer (repro.cluster): commit-time routing decision,
+        # the cross-shard two-phase outcome, and lazy remote-shard
+        # opens.  Emitted only by ClusterTMBackend, so plain
+        # single-node runs never carry them.
+        _schema("route", "cluster backend", "shard", "cross", "n_write"),
+        _schema(
+            "xshard",
+            "cluster coordinator",
+            "involved",
+            "remote",
+            "committed",
+            "reason",
+            "n_read",
+            "n_write",
+            "sent_ns",
+            "decided_ns",
+        ),
+        _schema("shard_open", "cluster backend", "shard", "home"),
         _schema("fault", "chaos engine", "kind", "count"),
         _schema("failover", "degradation ladder", "mode", "timeouts"),
         _schema("failback", "degradation ladder", "mode", "timeouts"),
@@ -216,6 +235,14 @@ METRICS: Tuple[MetricSpec, ...] = (
     _histogram("hw.window_occupancy", "sliding-window residency"),
     _histogram("hw.occupancy_cycles", "detector occupancy per request"),
     _gauge("hw.window_resident", "peak window residency"),
+    # shard.* — the cluster layer (repro.cluster).
+    _counter("shard.single_commits", "single-shard fast-path commits"),
+    _counter("shard.cross_commits", "cross-shard 2PC commits"),
+    _counter("shard.cross_aborts", "cross-shard certify refusals"),
+    _counter("shard.remote_opens", "lazy remote-shard opens"),
+    _counter("shard.commits.", "commits by home shard", dynamic=True),
+    _histogram("shard.involved", "shards involved per cross-shard commit"),
+    _histogram("shard.prepare_ns", "cross-shard sent->decided time"),
     # fault.* / ladder.* — chaos and degradation.
     _counter("fault.", "injected faults by kind", dynamic=True),
     _counter("ladder.failovers", "fpga->software transitions"),

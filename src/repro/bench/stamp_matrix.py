@@ -124,9 +124,13 @@ def matrix_specs(
     seed: int = 1,
     verify: bool = True,
     obs: bool = False,
+    shards: int = 1,
 ) -> List[ExperimentSpec]:
     """The grid as specs: per workload, one sequential baseline cell
-    followed by every (backend, threads) cell, in deterministic order."""
+    followed by every (backend, threads) cell, in deterministic order.
+
+    ``shards`` applies to ClusterTM cells only (every other backend is
+    single-node by definition)."""
     specs: List[ExperimentSpec] = []
     backend_names = [_backend_spec_name(factory) for factory in backends]
     for workload_cls in workloads:
@@ -137,11 +141,13 @@ def matrix_specs(
             )
         )
         for backend in backend_names:
+            cell_shards = shards if backend == "ClusterTM" else 1
             for n_threads in threads:
                 specs.append(
                     ExperimentSpec(
                         workload_cls.name, backend, n_threads,
                         scale=scale, seed=seed, verify=verify, obs=obs,
+                        shards=cell_shards,
                     )
                 )
     return specs

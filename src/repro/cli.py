@@ -38,6 +38,7 @@ from typing import List, Optional
 
 from .bench import (
     DEGRADATION_HEADERS,
+    FIG10_BACKENDS,
     FIG10_THREADS,
     degradation_row,
     figure9_sweep,
@@ -100,13 +101,29 @@ def _resolve_backend(name: str) -> str:
     return key
 
 
-def _make_backend(name: str, faults: Optional[str] = None, fault_seed: int = 0):
-    """A backend instance, optionally running under a fault schedule."""
+def _make_backend(
+    name: str,
+    faults: Optional[str] = None,
+    fault_seed: int = 0,
+    shards: int = 1,
+):
+    """A backend instance, optionally sharded and/or under faults."""
+    if shards > 1 and name != "ClusterTM":
+        raise SystemExit(
+            f"--shards {shards} requires the ClusterTM backend "
+            f"(got {name})"
+        )
+    if name == "ClusterTM":
+        from .cluster import ClusterTMBackend
+
+        return ClusterTMBackend(
+            shards=shards, faults=faults or None, fault_seed=fault_seed
+        )
     if faults:
         if name != "ROCoCoTM":
             raise SystemExit(
                 "--faults injects into the FPGA validation path and "
-                "requires the ROCoCoTM backend"
+                "requires the ROCoCoTM or ClusterTM backend"
             )
         from .faults import build_chaos_backend
 
@@ -241,6 +258,7 @@ def _cmd_list(_args) -> int:
             ["TinySTM-ETL", "LSA STM, encounter-time locking variant"],
             ["TSX", "best-effort HTM, requester-wins + lock fallback"],
             ["ROCoCoTM", "the paper's hybrid CPU+FPGA system"],
+            ["ClusterTM", "sharded scale-out ROCoCoTM (--shards N, 2PC)"],
             ["SI-MVCC", "multi-version snapshot isolation (anomalies!)"],
         ],
         title="TM systems",
@@ -299,9 +317,18 @@ def _cmd_fig10(args) -> int:
     cache = ResultCache(args.cache) if args.cache else None
     supervised = _supervised_runner(args, cache)
     runner = supervised if supervised is not None else default_runner(args.jobs, cache=cache)
+    shards = getattr(args, "shards", 1)
+    fig_backends = ["TinySTM", "TSX", "ROCoCoTM"]
+    backend_factories = list(FIG10_BACKENDS)
+    if shards > 1:
+        from .cluster import ClusterTMBackend
+
+        fig_backends.append("ClusterTM")
+        backend_factories.append(ClusterTMBackend)
     specs = matrix_specs(
-        workloads=workloads, threads=tuple(args.threads),
-        scale=args.scale, seed=args.seed, obs=args.obs,
+        workloads=workloads, backends=tuple(backend_factories),
+        threads=tuple(args.threads),
+        scale=args.scale, seed=args.seed, obs=args.obs, shards=shards,
     )
     started = time.perf_counter()
     results = runner.run(
@@ -340,7 +367,7 @@ def _cmd_fig10(args) -> int:
     for name in matrix.workloads():
         rows = [
             cell_row(name, backend, nt)
-            for backend in ("TinySTM", "TSX", "ROCoCoTM")
+            for backend in fig_backends
             for nt in args.threads
         ]
         print_table(
@@ -361,6 +388,12 @@ def _cmd_fig10(args) -> int:
         geo_rows,
         title="Geomean speedup ratios (paper @28t: 1.55 / 8.05)",
     )
+    if shards > 1:
+        print_table(
+            ["threads", "ClusterTM/ROCoCoTM"],
+            [[nt, ratio("ClusterTM", "ROCoCoTM", nt)] for nt in args.threads],
+            title=f"Cluster scale-out ratio ({shards} shards)",
+        )
     if supervised is not None:
         return _report_supervision(supervised)
     return 0
@@ -396,10 +429,16 @@ def _cmd_resources(args) -> int:
 
 
 def _cmd_stamp(args) -> int:
-    if args.faults and args.backend != "ROCoCoTM":
+    if args.faults and args.backend not in ("ROCoCoTM", "ClusterTM"):
         raise SystemExit(
             "--faults injects into the FPGA validation path and "
-            "requires the ROCoCoTM backend"
+            "requires the ROCoCoTM or ClusterTM backend"
+        )
+    shards = getattr(args, "shards", 1) or 1
+    if shards > 1 and args.backend != "ClusterTM":
+        raise SystemExit(
+            f"--shards {shards} requires the ClusterTM backend "
+            f"(got {args.backend})"
         )
     spec = ExperimentSpec(
         args.workload,
@@ -409,6 +448,7 @@ def _cmd_stamp(args) -> int:
         seed=args.seed,
         faults=args.faults,
         fault_seed=args.fault_seed,
+        shards=shards,
     )
     cache = ResultCache(args.cache) if args.cache else None
     runner = _supervised_runner(args, cache)
@@ -434,6 +474,12 @@ def _cmd_chaos(args) -> int:
     schedules = (
         list(BUILTIN_SCHEDULES) if "all" in args.schedule else args.schedule
     )
+    shards = getattr(args, "shards", 1) or 1
+    if shards > 1 and args.sanitize:
+        raise SystemExit(
+            "--sanitize replays through the single-node chaos harness; "
+            "drop --shards or --sanitize"
+        )
     rows = []
     violations = 0
     supervised = None
@@ -460,13 +506,14 @@ def _cmd_chaos(args) -> int:
         specs = [
             ExperimentSpec(
                 args.workload,
-                "ROCoCoTM",
+                "ClusterTM" if shards > 1 else "ROCoCoTM",
                 args.threads,
                 scale=args.scale,
                 seed=args.seed,
                 faults=sched,
                 fault_seed=args.fault_seed,
                 irrevocable_after=args.irrevocable_after,
+                shards=shards,
             )
             for sched in schedules
         ]
@@ -545,12 +592,15 @@ def _run_observed(args, trace: bool):
 
     workload = _resolve_workload(args.workload)
     backend_name = _resolve_backend(args.backend)
-    if args.faults and backend_name != "ROCoCoTM":
+    if args.faults and backend_name not in ("ROCoCoTM", "ClusterTM"):
         raise SystemExit(
             "--faults injects into the FPGA validation path and "
-            "requires the ROCoCoTM backend"
+            "requires the ROCoCoTM or ClusterTM backend"
         )
-    backend = _make_backend(backend_name, args.faults, args.fault_seed)
+    backend = _make_backend(
+        backend_name, args.faults, args.fault_seed,
+        shards=getattr(args, "shards", 1) or 1,
+    )
     n_threads = 1 if backend_name == "sequential" else args.threads
     stats, tracer, registry = observe_stamp(
         WORKLOADS[workload],
@@ -778,6 +828,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach the metrics registry to every cell; snapshots land "
         "in the --stamp-json record (merged across shards)",
     )
+    p10.add_argument(
+        "--shards",
+        type=int,
+        default=_env_default("REPRO_SHARDS", int) or 1,
+        help="add a ClusterTM column with this many shards "
+        "(env REPRO_SHARDS; see docs/CLUSTER.md)",
+    )
     add_supervision_args(p10)
     p10.set_defaults(func=_cmd_fig10)
 
@@ -802,9 +859,16 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument(
         "--faults",
         choices=BUILTIN_SCHEDULES,
-        help="inject this fault schedule into the validation path (ROCoCoTM only)",
+        help="inject this fault schedule into the validation path "
+        "(ROCoCoTM or ClusterTM only)",
     )
     ps.add_argument("--fault-seed", type=int, default=0)
+    ps.add_argument(
+        "--shards",
+        type=int,
+        default=_env_default("REPRO_SHARDS", int) or 1,
+        help="shard count for the ClusterTM backend (env REPRO_SHARDS)",
+    )
     ps.add_argument(
         "--cache", metavar="DIR", help="content-addressed result cache"
     )
@@ -846,6 +910,13 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument(
         "--cache", metavar="DIR", help="content-addressed result cache"
     )
+    pc.add_argument(
+        "--shards",
+        type=int,
+        default=_env_default("REPRO_SHARDS", int) or 1,
+        help="run the matrix on a ClusterTM cluster with this many "
+        "shards instead of single-node ROCoCoTM (env REPRO_SHARDS)",
+    )
     add_supervision_args(pc)
     pc.set_defaults(func=_cmd_chaos)
 
@@ -880,7 +951,7 @@ def build_parser() -> argparse.ArgumentParser:
     pz.add_argument(
         "--faults",
         choices=BUILTIN_SCHEDULES,
-        help="sanitize under this fault schedule (ROCoCoTM only)",
+        help="sanitize under this fault schedule (ROCoCoTM or ClusterTM only)",
     )
     pz.add_argument("--fault-seed", type=int, default=0)
     pz.set_defaults(func=_cmd_sanitize)
@@ -894,9 +965,15 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument(
             "--faults",
             choices=BUILTIN_SCHEDULES,
-            help="inject this fault schedule (ROCoCoTM only)",
+            help="inject this fault schedule (ROCoCoTM or ClusterTM only)",
         )
         sub_parser.add_argument("--fault-seed", type=int, default=0)
+        sub_parser.add_argument(
+            "--shards",
+            type=int,
+            default=_env_default("REPRO_SHARDS", int) or 1,
+            help="shard count for the ClusterTM backend (env REPRO_SHARDS)",
+        )
         sub_parser.add_argument(
             "--no-verify",
             action="store_true",

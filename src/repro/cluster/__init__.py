@@ -1,0 +1,34 @@
+"""Sharded scale-out ROCoCoTM (docs/CLUSTER.md).
+
+* :class:`ClusterTMBackend` — N full ROCoCoTM shards (each with its
+  own FPGA validation engine, sliding window and link) behind one
+  backend protocol; threads pin round robin to nodes.
+* :class:`Partitioner` / :class:`HashPartitioner` /
+  :class:`RangePartitioner` — cacheline-aligned heap placement.
+* :class:`Router` — commit-time fast-path vs cross-shard
+  classification.
+* :class:`Coordinator` — deterministic cross-shard two-phase
+  validation over an inter-shard latency model.
+"""
+
+from .backend import ClusterTMBackend
+from .coordinator import Coordinator
+from .partition import (
+    PARTITIONERS,
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    make_partitioner,
+)
+from .router import Router
+
+__all__ = [
+    "ClusterTMBackend",
+    "Coordinator",
+    "HashPartitioner",
+    "PARTITIONERS",
+    "Partitioner",
+    "RangePartitioner",
+    "Router",
+    "make_partitioner",
+]

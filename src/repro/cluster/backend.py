@@ -1,0 +1,388 @@
+"""ClusterTMBackend: N ROCoCoTM shards behind one backend protocol.
+
+The flat heap is partitioned across N shards, cacheline-aligned
+(:mod:`repro.cluster.partition`); each shard is a full single-node
+ROCoCoTM — its own :class:`FpgaValidationEngine`, sliding window,
+commit queue, update set and CPU–FPGA link.  Threads are pinned round
+robin to *nodes* (thread ``tid`` lives on node ``tid % shards``), and
+a node's CPU-side costs scale with only its own occupancy — the SMT
+regime is per node, which is the whole point of scaling out.
+
+The hook protocol maps onto the cluster as:
+
+* ``begin``   — open the home shard (one snapshot per touched shard;
+  remote shards open lazily at first touch, paying the hop there);
+* ``read``    — route to the owning shard; remote reads pay an
+  inter-shard round trip (the CCI-class constants of
+  :func:`repro.hw.link.harp2_cci_link`); writes are redo-buffered on
+  the owning shard with no hop (they travel with the commit);
+* ``commit``  — the :class:`Router` classifies the transaction:
+  single-shard commits delegate verbatim to that shard's own commit
+  protocol (the fast path — local validation, no coordination), and
+  cross-shard commits run the deterministic two-phase
+  :class:`Coordinator`;
+* ``rollback``— drop per-shard state everywhere, charge once.
+
+With ``shards=1`` every hook delegates directly to the single shard:
+by construction the run is bit-identical to a plain
+:class:`RococoTMBackend` — the regression gate of docs/CLUSTER.md.
+
+The irrevocable escape hatch (forced by validation-path outages, or by
+``irrevocable_after``) is *cluster-wide* at N > 1: a global lock
+fences all nodes, reads bypass the shards (direct loads behind each
+shard's write-back barrier), and the commit enters each touched
+shard's window as an external commit — mirroring the single-node
+mechanics one level up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..hw.link import harp2_cci_link
+from ..runtime.api import TransactionAborted
+from ..runtime.backend import TMBackend
+from ..runtime.coarse_lock import GlobalLock
+from ..runtime.events import SimEvent
+from ..runtime.rococotm import (
+    BEGIN_NS,
+    COMMIT_RO_NS,
+    READ_BASE_NS,
+    ROLLBACK_NS,
+    WRITE_NS,
+    WRITEBACK_PER_WORD_NS,
+    RococoTMBackend,
+)
+from ..signatures import SignatureConfig
+from .coordinator import Coordinator
+from .partition import Partitioner, make_partitioner
+from .router import Router
+
+
+@dataclass
+class _IrrevTxn:
+    """Cluster-level irrevocable transaction: shards are bypassed, so
+    the cluster itself keeps the redo log and per-shard write sets
+    (reads are not recorded — mirroring the single-node irrevocable
+    path, which also skips read bookkeeping under the global fence)."""
+
+    writes: Dict[int, List[int]] = field(default_factory=dict)
+    redo: Dict[int, Any] = field(default_factory=dict)
+
+
+class ClusterTMBackend(TMBackend):
+    """Sharded scale-out ROCoCoTM (docs/CLUSTER.md)."""
+
+    name = "ClusterTM"
+    #: same compact signature metadata as a single ROCoCoTM node.
+    metadata_footprint = 0.55
+
+    def __init__(
+        self,
+        shards: int = 1,
+        window: int = 64,
+        signature_config: Optional[SignatureConfig] = None,
+        partition: str = "hash",
+        faults: Optional[str] = None,
+        fault_seed: int = 0,
+        irrevocable_after: Optional[int] = None,
+    ):
+        """``faults`` wires every shard's engine through the chaos
+        layer with a *per-shard* seed (``fault_seed + shard id``), so
+        each node draws an independent deterministic fault schedule.
+        ``irrevocable_after`` is handled by the single shard at
+        ``shards=1`` (bit-identity with the plain backend) and by the
+        cluster-wide escape hatch at N > 1."""
+        super().__init__()
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.shards_n = shards
+        self.partitioner: Partitioner = make_partitioner(partition, shards)
+        self.irrevocable_after = irrevocable_after
+        shard_irrevocable = irrevocable_after if shards == 1 else None
+        self.shards: List[RococoTMBackend] = []
+        for sid in range(shards):
+            if faults is not None:
+                from ..faults import build_chaos_backend
+
+                shard = build_chaos_backend(
+                    faults,
+                    fault_seed + sid,
+                    window=window,
+                    irrevocable_after=shard_irrevocable,
+                )
+            else:
+                shard = RococoTMBackend(
+                    window=window,
+                    signature_config=signature_config,
+                    irrevocable_after=shard_irrevocable,
+                )
+            shard.shard_id = sid
+            self.shards.append(shard)
+        self.router = Router(self.shards)
+        self.coordinator = Coordinator(self)
+        self.interlink = self.coordinator.interlink
+        #: tid -> shard ids opened this attempt, in open order.
+        self._open: Dict[int, List[int]] = {}
+        self._failures: Dict[int, int] = {}
+        self._force_irrevocable: set = set()
+        self._lock = GlobalLock()
+        self._irrevocable: set = set()
+        self._irrev: Dict[int, _IrrevTxn] = {}
+        self._watchers: List[int] = []
+        self.stats_irrevocable_commits = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, driver) -> None:
+        super().attach(driver)
+        self.partitioner.bind(driver.memory.allocated)
+        for shard in self.shards:
+            shard.attach(driver)
+        if self.shards_n > 1:
+            # Per-node SMT regime: CPU-side costs scale with one
+            # node's occupancy, not the cluster-wide thread count.
+            # (At shards=1 the global regime is the node regime and
+            # nothing is overridden — bit-identity.)
+            node_threads = self._node_threads(0)  # node 0 is the fullest
+            scale = driver.cost_model.compute_scale(
+                node_threads, self.metadata_footprint
+            )
+            self._scale = scale
+            for shard in self.shards:
+                shard._scale = scale
+
+    def _node_threads(self, node: int) -> int:
+        """How many threads node *node* hosts under round-robin
+        pinning."""
+        n = self.driver.n_threads
+        return (n - node + self.shards_n - 1) // self.shards_n
+
+    def local_threads(self, tid: int) -> int:
+        if self.shards_n == 1:
+            return self.driver.n_threads
+        return self._node_threads(tid % self.shards_n)
+
+    def _home(self, tid: int) -> int:
+        return tid % self.shards_n
+
+    # ------------------------------------------------------------------
+    def begin(self, tid: int, now: float) -> float:
+        if self.shards_n == 1:
+            return self.shards[0].begin(tid, now)
+        if self._lock.held:
+            self._watchers.append(tid)
+            self.driver.park(tid)
+        if tid in self._force_irrevocable or (
+            self.irrevocable_after is not None
+            and self._failures.get(tid, 0) >= self.irrevocable_after
+        ):
+            at = self._lock.acquire(tid, now, self.driver)
+            self._irrevocable.add(tid)
+            self._force_irrevocable.discard(tid)
+            self._irrev[tid] = _IrrevTxn()
+            return at + self.scaled(BEGIN_NS)
+        home = self._home(tid)
+        self._open[tid] = [home]
+        return self.shards[home].begin(tid, now)
+
+    # ------------------------------------------------------------------
+    def read(self, tid: int, addr: int, now: float) -> Tuple[Any, float]:
+        if self.shards_n == 1:
+            return self.shards[0].read(tid, addr, now)
+        if tid in self._irrevocable:
+            return self._read_irrevocable(tid, addr, now)
+        sid = self.partitioner.shard_of(addr)
+        shard = self.shards[sid]
+        remote = sid != self._home(tid)
+        at = now
+        if remote:
+            at += self.interlink.request_ns(1)
+        at = self._open_shard(tid, sid, at)
+        value, at = shard.read(tid, addr, at)
+        if remote:
+            at += self.interlink.response_ns()
+        return value, at
+
+    def _open_shard(self, tid: int, sid: int, now: float) -> float:
+        """Lazily open shard *sid* for *tid* at first touch: a fresh
+        per-shard snapshot, charged one begin.  The open rides the
+        first access's hop (no extra round trip)."""
+        opened = self._open[tid]
+        if sid in opened:
+            return now
+        opened.append(sid)
+        at = self.shards[sid].begin(tid, now)
+        driver = self.driver
+        if driver.wants("shard_open"):
+            driver.emit(
+                SimEvent(
+                    "shard_open",
+                    tid,
+                    at,
+                    data={"shard": sid, "home": self._home(tid)},
+                )
+            )
+        return at
+
+    def _read_irrevocable(self, tid: int, addr: int, now: float) -> Tuple[Any, float]:
+        state = self._irrev[tid]
+        if addr in state.redo:
+            return state.redo[addr], now + self.scaled(READ_BASE_NS)
+        sid = self.partitioner.shard_of(addr)
+        remote = sid != self._home(tid)
+        at = now
+        if remote:
+            at += self.interlink.request_ns(1)
+        # The global fence stops new commits, but write-backs already
+        # in flight on the owning shard must drain first.
+        at = self.shards[sid].drain_writebacks(addr, at)
+        value = self.memory.load(addr)
+        at += self.scaled(READ_BASE_NS)
+        if remote:
+            at += self.interlink.response_ns()
+        return value, at
+
+    # ------------------------------------------------------------------
+    def write(self, tid: int, addr: int, value: Any, now: float) -> float:
+        if self.shards_n == 1:
+            return self.shards[0].write(tid, addr, value, now)
+        if tid in self._irrevocable:
+            state = self._irrev[tid]
+            sid = self.partitioner.shard_of(addr)
+            if addr not in state.redo:
+                state.writes.setdefault(sid, []).append(addr)
+            state.redo[addr] = value
+            return now + self.scaled(WRITE_NS)
+        sid = self.partitioner.shard_of(addr)
+        # Writes are redo-buffered on the owning shard's bookkeeping
+        # with no hop: the data travels with the commit (prepare for
+        # cross-shard, the validation request for single-shard).
+        at = self._open_shard(tid, sid, now)
+        return self.shards[sid].write(tid, addr, value, at)
+
+    # ------------------------------------------------------------------
+    def commit(self, tid: int, now: float) -> float:
+        if self.shards_n == 1:
+            return self.shards[0].commit(tid, now)
+        if tid in self._irrevocable:
+            return self._commit_irrevocable(tid, now)
+        if self._lock.held:
+            # Same fence as a single node: committing under a running
+            # irrevocable transaction would invalidate its reads.
+            raise TransactionAborted("cpu-irrevocable-fence")
+
+        home = self._home(tid)
+        involved, idle = self.router.classify(tid, self._open.get(tid, []))
+        for sid in idle:
+            self.shards[sid].drop_txn(tid)
+
+        if not involved:
+            # The body touched nothing at all: trivially read-only.
+            self._open.pop(tid, None)
+            self._failures[tid] = 0
+            self.stats.read_only_commits += 1
+            return now + self.scaled(COMMIT_RO_NS)
+
+        if len(involved) == 1:
+            at = self._commit_single(tid, involved[0], home, now)
+        else:
+            at = self._commit_cross(tid, involved, home, now)
+        self._open.pop(tid, None)
+        self._failures[tid] = 0
+        return at
+
+    def _commit_single(self, tid: int, sid: int, home: int, now: float) -> float:
+        """The fast path: the whole transaction lives on one shard, so
+        its own commit protocol applies verbatim — read-only CPU
+        commit, local FPGA validation, update-set publication.  Only a
+        routing hop is added when that shard is not the home node."""
+        shard = self.shards[sid]
+        n_write = shard.txn_writes(tid)
+        remote = sid != home
+        at = now
+        if remote and n_write:
+            lines = self.interlink.lines_for_addresses(
+                max(1, shard.txn_reads(tid) + n_write)
+            )
+            at += self.interlink.request_ns(lines)
+        try:
+            at = shard.commit(tid, at)
+        except TransactionAborted:
+            if shard.take_forced_irrevocable(tid):
+                # The shard's validation ladder bottomed out; escalate
+                # to the cluster-wide irrevocable escape hatch.
+                self._force_irrevocable.add(tid)
+            raise
+        if remote and n_write:
+            at += self.interlink.response_ns()
+        driver = self.driver
+        if driver.wants("route"):
+            driver.emit(
+                SimEvent(
+                    "route",
+                    tid,
+                    at,
+                    data={"shard": sid, "cross": False, "n_write": n_write},
+                )
+            )
+        return at
+
+    def _commit_cross(
+        self, tid: int, involved: List[int], home: int, now: float
+    ) -> float:
+        total_writes = sum(self.shards[sid].txn_writes(tid) for sid in involved)
+        at = self.coordinator.commit(tid, home, involved, now)
+        if total_writes == 0:
+            self.stats.read_only_commits += 1
+        driver = self.driver
+        if driver.wants("route"):
+            driver.emit(
+                SimEvent(
+                    "route",
+                    tid,
+                    at,
+                    data={"shard": home, "cross": True, "n_write": total_writes},
+                )
+            )
+        return at
+
+    def _commit_irrevocable(self, tid: int, now: float) -> float:
+        state = self._irrev.pop(tid)
+        total_writes = sum(len(addrs) for addrs in state.writes.values())
+        writeback_end = now + self.scaled(WRITEBACK_PER_WORD_NS * total_writes)
+        for sid in sorted(state.writes):
+            addrs = state.writes[sid]
+            self.shards[sid].external_irrevocable_commit(
+                (),
+                tuple(addrs),
+                [(addr, state.redo[addr]) for addr in addrs],
+                writeback_end,
+            )
+        self._irrevocable.discard(tid)
+        self._failures[tid] = 0
+        self.stats_irrevocable_commits += 1
+        ready = self._lock.release(tid, writeback_end, self.driver)
+        for watcher in self._watchers:
+            self.driver.wake_at(watcher, ready)
+        self._watchers.clear()
+        return ready
+
+    # ------------------------------------------------------------------
+    def rollback(self, tid: int, now: float, cause: str) -> float:
+        if self.shards_n == 1:
+            return self.shards[0].rollback(tid, now, cause)
+        for sid in sorted(self._open.pop(tid, [])):
+            self.shards[sid].drop_txn(tid)
+        self._irrev.pop(tid, None)
+        self._irrevocable.discard(tid)
+        self._failures[tid] = self._failures.get(tid, 0) + 1
+        return now + self.scaled(ROLLBACK_NS)
+
+    # ------------------------------------------------------------------
+    def abort_backoff_scale(self, cause: str) -> float:
+        return self.shards[0].abort_backoff_scale(cause)
+
+    def run_finished(self) -> None:
+        for shard in self.shards:
+            shard.run_finished()

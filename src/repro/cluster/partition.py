@@ -1,0 +1,100 @@
+"""Line-aligned heap partitioning for the sharded cluster.
+
+A partitioner maps every heap address to its owning shard.  Placement
+is *cacheline-aligned* — all eight cells of a line land on the same
+shard — because the conflict detector works on cachelines
+(:mod:`repro.hw.detector`): splitting a line across shards would let
+two shards each see half of a line-granular conflict and certify what
+neither alone can refute.
+
+Both policies are pure arithmetic over the address (no ``hash()``, no
+per-run salt), so placement is identical across processes, runs and
+shard sweeps — a precondition for the cluster's bit-reproducibility
+contract (docs/CLUSTER.md).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..runtime.memory import CELLS_PER_CACHELINE
+
+
+class Partitioner:
+    """Maps addresses to shards, cacheline-aligned."""
+
+    policy = "abstract"
+
+    def __init__(self, shards: int):
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.shards = shards
+
+    def bind(self, total_cells: int) -> None:
+        """Pin placement to the heap observed at attach time (only the
+        range policy needs the heap size)."""
+
+    def line_of(self, addr: int) -> int:
+        return addr // CELLS_PER_CACHELINE
+
+    def shard_of(self, addr: int) -> int:
+        raise NotImplementedError
+
+
+class HashPartitioner(Partitioner):
+    """Multiplicative line hashing: spreads neighbouring lines across
+    shards, so hot *regions* (a shared array) distribute evenly while
+    hot *lines* still serialize on one shard."""
+
+    policy = "hash"
+    #: Knuth's multiplicative constant (2^32 / phi); the >> 8 keeps the
+    #: well-mixed high bits before the modulo.
+    MULTIPLIER = 2654435761
+
+    def shard_of(self, addr: int) -> int:
+        if self.shards == 1:
+            return 0
+        line = addr // CELLS_PER_CACHELINE
+        return ((line * self.MULTIPLIER) >> 8) % self.shards
+
+
+class RangePartitioner(Partitioner):
+    """Contiguous line ranges: shard *s* owns lines
+    ``[s * lines_per_shard, (s + 1) * lines_per_shard)``.  Keeps
+    allocation locality (one data structure -> few shards) at the cost
+    of skew when workloads hammer one region."""
+
+    policy = "range"
+
+    def __init__(self, shards: int):
+        super().__init__(shards)
+        self._lines_per_shard = 1
+
+    def bind(self, total_cells: int) -> None:
+        total_lines = max(1, math.ceil(total_cells / CELLS_PER_CACHELINE))
+        self._lines_per_shard = max(1, math.ceil(total_lines / self.shards))
+
+    def shard_of(self, addr: int) -> int:
+        if self.shards == 1:
+            return 0
+        line = addr // CELLS_PER_CACHELINE
+        # Addresses allocated after bind() clamp to the last shard.
+        return min(self.shards - 1, line // self._lines_per_shard)
+
+
+#: policy name -> class, the registry the CLI and spec layer share.
+PARTITIONERS = {
+    HashPartitioner.policy: HashPartitioner,
+    RangePartitioner.policy: RangePartitioner,
+}
+
+
+def make_partitioner(policy: str, shards: int) -> Partitioner:
+    try:
+        cls = PARTITIONERS[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown partition policy {policy!r} "
+            f"(known: {', '.join(sorted(PARTITIONERS))})"
+        ) from None
+    return cls(shards)

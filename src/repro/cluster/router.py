@@ -1,0 +1,44 @@
+"""Commit-time transaction routing: fast path vs two-phase.
+
+The router looks at which shards a transaction actually touched and
+classifies the commit:
+
+* **single-shard** — every read and write landed on one shard: the
+  commit is delegated verbatim to that shard's own ROCoCoTM commit
+  protocol (local FPGA validation, no coordination, no extra hops).
+  This is the scale-out fast path; its frequency per workload is the
+  ``shard.single_commits`` / ``shard.cross_commits`` ratio in the
+  metrics and the headline number in ``BENCH_cluster_baseline.json``.
+* **cross-shard** — reads or writes span >= 2 shards: the
+  :class:`repro.cluster.coordinator.Coordinator` runs deterministic
+  two-phase validation over every involved shard.
+
+Shards that were *opened* (paid a begin) but never touched are dropped
+silently — an opened-but-idle shard holds no reads to certify and no
+writes to apply, so pruning it is free and keeps the fast path honest.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+class Router:
+    """Classifies one transaction's commit from its touched-shard set."""
+
+    def __init__(self, shards) -> None:
+        #: the cluster's shard list (RococoTMBackend instances).
+        self.shards = shards
+
+    def classify(self, tid: int, opened: List[int]) -> Tuple[List[int], List[int]]:
+        """Split *opened* shard ids into (involved, idle), both in
+        ascending shard order — the deterministic iteration order every
+        coordinator step uses."""
+        involved = []
+        idle = []
+        for sid in sorted(opened):
+            if self.shards[sid].txn_touched(tid):
+                involved.append(sid)
+            else:
+                idle.append(sid)
+        return involved, idle

@@ -22,6 +22,7 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
+from ..cluster import ClusterTMBackend
 from ..runtime import (
     CoarseLockBackend,
     CostModel,
@@ -53,8 +54,13 @@ BACKEND_REGISTRY = {
         TsxBackend,
         RococoTMBackend,
         SnapshotIsolationBackend,
+        ClusterTMBackend,
     )
 }
+
+#: backends whose validation path accepts fault schedules (the chaos
+#: layer injects into each node's FPGA engine).
+FAULT_CAPABLE_BACKENDS = ("ROCoCoTM", "ClusterTM")
 
 #: workload registry key -> StampWorkload subclass.
 WORKLOAD_REGISTRY = {
@@ -87,6 +93,9 @@ class ExperimentSpec:
     #: content hash — an observed run is a different (if decision-
     #: identical) experiment from an unobserved one.
     obs: bool = False
+    #: shard count for the ClusterTM backend (docs/CLUSTER.md); 1 for
+    #: every single-node backend.
+    shards: int = 1
 
     def __post_init__(self):
         if self.workload not in WORKLOAD_REGISTRY:
@@ -97,10 +106,17 @@ class ExperimentSpec:
             raise ValueError("n_threads must be at least 1")
         if self.scale <= 0:
             raise ValueError("scale must be positive")
-        if self.faults is not None and self.backend != "ROCoCoTM":
+        if self.faults is not None and self.backend not in FAULT_CAPABLE_BACKENDS:
             raise ValueError(
                 "fault schedules inject into the FPGA validation path "
-                "and require the ROCoCoTM backend"
+                "and require the ROCoCoTM or ClusterTM backend"
+            )
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        if self.shards > 1 and self.backend != "ClusterTM":
+            raise ValueError(
+                f"shards={self.shards} requires the ClusterTM backend "
+                f"(got {self.backend!r})"
             )
         valid = {f for f in CostModel.__dataclass_fields__}
         for name, _ in self.cost_model:
@@ -138,6 +154,13 @@ class ExperimentSpec:
 
     # ------------------------------------------------------------------
     def make_backend(self):
+        if self.backend == "ClusterTM":
+            return ClusterTMBackend(
+                shards=self.shards,
+                faults=self.faults,
+                fault_seed=self.fault_seed,
+                irrevocable_after=self.irrevocable_after,
+            )
         if self.faults is not None:
             from ..faults import build_chaos_backend
 
@@ -178,6 +201,8 @@ class ExperimentSpec:
 
     def label(self) -> str:
         tag = f"{self.workload}/{self.backend}@{self.n_threads}t"
+        if self.shards > 1:
+            tag += f"x{self.shards}s"
         if self.faults:
             tag += f"+{self.faults}"
         return tag

@@ -116,6 +116,38 @@ class FpgaValidationEngine:
             ready_ns=ready,
         )
 
+    def certify(self, request: ValidationRequest, now_ns: float) -> ValidationResponse:
+        """Cross-shard prepare: same datapath timing as :meth:`submit`
+        — link crossing, pipeline queueing, detector occupancy, manager
+        cycles, verdict return — but the decision is the *non-mutating*
+        :meth:`ValidationManager.certify` freshness check.  A prepare
+        occupies the pipeline like any validation (the detector still
+        streams the request's cachelines), so local single-shard
+        traffic queues behind it exactly as Fig. 5 would."""
+        lines = self.link.lines_for_addresses(max(1, request.n_addresses))
+        arrived = now_ns + self.link.request_ns(lines)
+        started = max(self.clock.align_up(arrived), self._pipeline_free_ns)
+
+        occupancy = self.occupancy_cycles(request)
+        self._pipeline_free_ns = started + self.clock.cycles_to_ns(occupancy)
+        finished = started + self.clock.cycles_to_ns(occupancy + MANAGER_CYCLES)
+        ready = finished + self.link.response_ns()
+
+        verdict = self.manager.certify(request)
+        self.stats_busy_cycles += occupancy + MANAGER_CYCLES
+        self.stats_requests += 1
+        self.total_round_trip_ns += ready - now_ns
+        self.total_queueing_ns += started - arrived
+
+        return ValidationResponse(
+            verdict=verdict,
+            sent_ns=now_ns,
+            arrived_ns=arrived,
+            started_ns=started,
+            finished_ns=finished,
+            ready_ns=ready,
+        )
+
     # ------------------------------------------------------------------
     @property
     def mean_round_trip_ns(self) -> float:

@@ -69,6 +69,8 @@ class ValidationManager:
         self.stats_taint_aborts = 0
         self.stats_resets = 0
         self.stats_external_commits = 0
+        self.stats_certifies = 0
+        self.stats_certify_refusals = 0
 
     @property
     def stats_aborts(self) -> int:
@@ -113,6 +115,35 @@ class ValidationManager:
             forward=forward,
             backward=backward,
         )
+
+    # ------------------------------------------------------------------
+    def certify(self, request: ValidationRequest) -> Verdict:
+        """Freshness check for cross-shard two-phase validation.
+
+        Unlike :meth:`validate`, this *never mutates* the window: no
+        matrix update, no signature recording, no commit-index bump.
+        A certified transaction will be serialized at its coordinator's
+        decide instant — after every transaction resident in this
+        window — so the only local hazard is a stale read: a forward
+        edge (a read overlapping a commit the snapshot missed).  With
+        zero forward edges the transaction orders after the entire
+        resident history and the probe cannot fail; the decide step
+        enters it via :meth:`record_external_commit`.  Because nothing
+        is recorded here, a coordinator holding one committed vote
+        needs no undo when a later shard refuses.
+        """
+        self.stats_certifies += 1
+        horizon = max(self.reset_floor, self.detector.oldest_commit_index)
+        if request.snapshot < horizon:
+            self.stats_certify_refusals += 1
+            return Verdict(False, "window-overflow")
+        forward, backward = self.detector.edges(
+            request.read_addrs, request.write_addrs, request.snapshot
+        )
+        if forward:
+            self.stats_certify_refusals += 1
+            return Verdict(False, "stale", forward=forward, backward=backward)
+        return Verdict(True, forward=forward, backward=backward)
 
     # ------------------------------------------------------------------
     def record_external_commit(

@@ -39,6 +39,14 @@ HW_LANE_TIDS = {
 
 def _lane_tid(pid: str, lane) -> int:
     if pid == "hw":
+        # Cluster runs add per-shard lane sets named ``s<N>:<stage>``
+        # (shard 0 keeps the unprefixed names): block N occupies tids
+        # [N*len(base), (N+1)*len(base)) so shards group in order.
+        lane = str(lane)
+        if lane.startswith("s") and ":" in lane:
+            prefix, _, stage = lane.partition(":")
+            if stage in HW_LANE_TIDS and prefix[1:].isdigit():
+                return int(prefix[1:]) * len(HW_LANE_TIDS) + HW_LANE_TIDS[stage]
         return HW_LANE_TIDS[lane]
     return int(lane)
 

@@ -185,6 +185,9 @@ class MetricsCollector:
         "wake",
         "backoff",
         "validate",
+        "route",
+        "xshard",
+        "shard_open",
         "fault",
         "failover",
         "failback",
@@ -263,6 +266,24 @@ class MetricsCollector:
                 "hw.occupancy_cycles", data["occupancy_cycles"], OCCUPANCY_BOUNDS
             )
             reg.gauge("hw.window_resident", data["window_resident"])
+        elif kind == "route":
+            # Emitted only on *successful* cluster commits, keyed by
+            # the owning (single-shard) or home (cross-shard) shard.
+            data = event.data
+            if data["cross"]:
+                reg.count("shard.cross_commits")
+            else:
+                reg.count("shard.single_commits")
+            reg.count(f"shard.commits.{data['shard']}")
+        elif kind == "xshard":
+            data = event.data
+            if not data["committed"]:
+                reg.count("shard.cross_aborts")
+            reg.observe("shard.involved", data["involved"], OCCUPANCY_BOUNDS)
+            reg.observe("shard.prepare_ns", data["decided_ns"] - data["sent_ns"])
+        elif kind == "shard_open":
+            if event.data["shard"] != event.data["home"]:
+                reg.count("shard.remote_opens")
         elif kind == "fault":
             reg.count(f"fault.{event.data['kind']}", event.data["count"])
         elif kind == "failover":

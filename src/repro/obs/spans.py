@@ -95,6 +95,7 @@ class SpanTracer:
         "wake",
         "backoff",
         "validate",
+        "xshard",
         "fault",
         "failover",
         "failback",
@@ -265,12 +266,14 @@ class SpanTracer:
         tid = event.tid
         parent = self._open_txn.get(tid)
         label = data.get("label")
+        shard = data.get("shard", 0)
         args = {
             "n_read": data["n_read"],
             "n_write": data["n_write"],
             "committed": data["committed"],
             "reason": data["reason"],
             "mode": data["mode"],
+            "shard": shard,
             "window_resident": data["window_resident"],
             # The unclamped round trip (the hw lanes show it in full).
             "sent_ns": data["sent_ns"],
@@ -289,6 +292,9 @@ class SpanTracer:
                 data["sent_ns"], data["ready_ns"], args=args,
             )
         # The hw pipeline lanes: consecutive stage spans per request.
+        # At shard > 0 (cluster runs) each shard's engine gets its own
+        # lane set, prefixed ``s<N>:``; shard 0 keeps the unprefixed
+        # names so single-node traces are unchanged.
         stage_args = {"tid": tid, "label": label}
         edges = (
             ("link-req", data["sent_ns"], data["arrived_ns"]),
@@ -298,11 +304,32 @@ class SpanTracer:
             ("link-resp", data["finished_ns"], data["ready_ns"]),
         )
         for stage, start, end in edges:
+            lane = stage if not shard else f"s{shard}:{stage}"
             self._span(
-                _name(stage, label), "hw", "hw", stage, start, end,
+                _name(stage, label), "hw", "hw", lane, start, end,
                 args=stage_args,
             )
         self._max_ns = max(self._max_ns, data["ready_ns"])
+
+    def _on_xshard(self, event) -> None:
+        """One ``2pc`` child span on the coordinator thread's cpu lane,
+        covering prepare-sent to decided (the per-shard prepares tile
+        the hw lanes via their own ``validate`` events)."""
+        data = event.data
+        parent = self._open_txn.get(event.tid)
+        self._span(
+            "2pc", "validate", "cpu", event.tid,
+            data["sent_ns"], data["decided_ns"],
+            parent=parent[0] if parent else None,
+            args={
+                "involved": data["involved"],
+                "remote": data["remote"],
+                "committed": data["committed"],
+                "reason": data["reason"],
+                "n_read": data["n_read"],
+                "n_write": data["n_write"],
+            },
+        )
 
     def _on_fault(self, event) -> None:
         self.markers.append(

@@ -104,6 +104,19 @@ class TMBackend:
         return ns * self._scale
 
     # ------------------------------------------------------------------
+    def local_threads(self, tid: int) -> int:
+        """How many threads contend for the cores *tid* runs on.
+
+        Single-node backends share one socket: every thread sees all
+        ``n_threads`` and the CostModel's SMT regime is global (the
+        pre-cluster behaviour).  A multi-node backend
+        (:class:`repro.cluster.ClusterTMBackend`) pins each thread to
+        its home node and reports only that node's occupancy, so SMT
+        pressure is per node.  Called by the Simulator after
+        ``attach`` (the driver is available)."""
+        return self.driver.n_threads
+
+    # ------------------------------------------------------------------
     # The five hooks.  All times are absolute simulated ns.
     # ------------------------------------------------------------------
     def begin(self, tid: int, now: float) -> float:

@@ -259,6 +259,9 @@ class RecordingBackend(TMBackend):
     def abort_backoff_scale(self, cause: str) -> float:
         return self.inner.abort_backoff_scale(cause)
 
+    def local_threads(self, tid: int) -> int:
+        return self.inner.local_threads(tid)
+
     def run_finished(self) -> None:
         self.inner.run_finished()
 

@@ -147,6 +147,10 @@ class RococoTMBackend(TMBackend):
         self._irrevocable: set = set()
         self._lock_watchers: List[int] = []
         self.stats_irrevocable_commits = 0
+        #: which cluster shard this instance is (0 on a single node);
+        #: set by ClusterTMBackend so validate events land on the
+        #: right per-shard hw lanes in the trace.
+        self.shard_id = 0
 
     # ------------------------------------------------------------------
     def attach(self, driver) -> None:
@@ -366,6 +370,7 @@ class RococoTMBackend(TMBackend):
                     "reason": response.verdict.reason,
                     "window_resident": self.engine.manager.detector.resident,
                     "mode": self.degradation.mode,
+                    "shard": self.shard_id,
                 },
             )
         )
@@ -427,6 +432,121 @@ class RococoTMBackend(TMBackend):
         self._failures[tid] = self._failures.get(tid, 0) + 1
         self._txns.pop(tid, None)
         return now + self.scaled(ROLLBACK_NS)
+
+    # ------------------------------------------------------------------
+    # The cluster surface (repro.cluster): one ROCoCoTM instance is one
+    # shard's node, and ClusterTMBackend drives it through these
+    # methods — never through the hook protocol's commit path — when a
+    # transaction spans shards.  All of them execute at a single
+    # simulated instant inside the coordinator's commit step.
+    # ------------------------------------------------------------------
+    def txn_touched(self, tid: int) -> bool:
+        """Whether *tid* actually read or wrote on this shard (an
+        opened-but-idle shard is dropped from the commit, free)."""
+        txn = self._txns.get(tid)
+        return txn is not None and bool(txn.read_addrs or txn.write_addrs)
+
+    def txn_writes(self, tid: int) -> int:
+        txn = self._txns.get(tid)
+        return len(txn.write_addrs) if txn is not None else 0
+
+    def txn_reads(self, tid: int) -> int:
+        txn = self._txns.get(tid)
+        return len(txn.read_addrs) if txn is not None else 0
+
+    def take_forced_irrevocable(self, tid: int) -> bool:
+        """Consume a pending forced-irrevocable flag (set when the
+        validation ladder bottomed out); the cluster moves it up to
+        its own cluster-wide escape hatch."""
+        if tid in self._force_irrevocable:
+            self._force_irrevocable.discard(tid)
+            return True
+        return False
+
+    def drop_txn(self, tid: int) -> None:
+        """Forget *tid*'s per-shard state without commit/abort
+        bookkeeping (cluster rollback, and idle-shard pruning)."""
+        self._txns.pop(tid, None)
+
+    def clear_failures(self, tid: int) -> None:
+        self._failures[tid] = 0
+
+    def prepare_request(self, tid: int) -> ValidationRequest:
+        """This shard's slice of a cross-shard transaction, as a
+        certify request (mints a fresh engine label)."""
+        txn = self._txns[tid]
+        self._label += 1
+        return ValidationRequest(
+            label=self._label,
+            read_addrs=tuple(txn.read_addrs),
+            write_addrs=tuple(txn.write_addrs),
+            snapshot=txn.valid_ts,
+        )
+
+    def certify(self, request: ValidationRequest, now: float):
+        """Run the non-mutating prepare on this shard's engine.  A
+        chaos engine delegates ``certify`` to its wrapped primary, so
+        prepares bypass fault injection (see docs/CLUSTER.md)."""
+        return self.engine.certify(request, now)
+
+    def apply_cross_shard_commit(self, tid: int, decided_ns: float) -> float:
+        """Decide-phase application for one involved shard: write back
+        the redo slice, enter the window bookkeeping exactly like an
+        external (off-engine) commit, and publish the write signature
+        to the update set so readers block until write-back completes.
+        Returns the write-back end time."""
+        txn = self._txns[tid]
+        writeback_end = decided_ns + self.scaled(
+            WRITEBACK_PER_WORD_NS * len(txn.write_addrs)
+        )
+        if txn.write_addrs:
+            self._updates.append(_UpdateEntry(txn.write_sig, writeback_end))
+            for addr, value in txn.redo.items():
+                self.memory.store(addr, value)
+            self.commit_queue.append(txn.write_sig)
+            self.global_ts += 1
+            self.engine.manager.record_external_commit(
+                self._label, tuple(txn.read_addrs), tuple(txn.write_addrs)
+            )
+        self._failures[tid] = 0
+        self._txns.pop(tid, None)
+        return writeback_end
+
+    def drain_writebacks(self, addr: int, now: float) -> float:
+        """Cluster-irrevocable read barrier: wait out in-flight
+        write-backs covering *addr* (no transaction of our own to
+        freeze, so this never aborts)."""
+        while True:
+            live = [u for u in self._updates if u.end_ns > now]
+            self._updates = live
+            blocking = [u for u in live if u.signature.query(addr)]
+            if not blocking:
+                return now
+            now = max(u.end_ns for u in blocking)
+
+    def external_irrevocable_commit(
+        self,
+        read_addrs: Tuple[int, ...],
+        write_addrs: Tuple[int, ...],
+        redo_items,
+        writeback_end: float,
+    ) -> None:
+        """Enter a cluster-level irrevocable commit's slice into this
+        shard: direct stores plus window bookkeeping (mirrors
+        :meth:`_commit_irrevocable`; the cluster lock fences readers
+        until *writeback_end*, so no update-set entry is needed)."""
+        for addr, value in redo_items:
+            self.memory.store(addr, value)
+        if write_addrs:
+            signature = self.config.new()
+            for addr in write_addrs:
+                signature.insert(addr)
+            self.commit_queue.append(signature)
+            self.global_ts += 1
+            self._label += 1
+            self.engine.manager.record_external_commit(
+                self._label, read_addrs, write_addrs
+            )
 
     # ------------------------------------------------------------------
     def abort_backoff_scale(self, cause: str) -> float:

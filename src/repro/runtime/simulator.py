@@ -138,10 +138,19 @@ class Simulator:
         #: the scheduling kernel of the current run (None before the
         #: run starts and on the legacy ``REPRO_SCHED=scan`` path).
         self._kernel: Optional[SchedulerKernel] = None
-        #: Work-op scale, cached off the per-step path (constant for a
-        #: run: pure function of cost model and thread count).
-        self._work_scale = self.cost_model.compute_scale(n_threads)
         backend.attach(self)
+        #: Per-thread Work-op scale, cached off the per-step path
+        #: (constant for a run: pure function of cost model and the
+        #: backend's thread placement).  Single-node backends report
+        #: every thread sharing all cores (``local_threads`` == T, one
+        #: global SMT regime — the pre-cluster behaviour, bit-exact);
+        #: a cluster backend pins threads to nodes, so each thread's
+        #: scale reflects only its own node's occupancy.  Computed
+        #: after ``attach`` because placement needs the driver.
+        self._work_scale = [
+            self.cost_model.compute_scale(backend.local_threads(tid))
+            for tid in range(n_threads)
+        ]
 
     # ------------------------------------------------------------------
     # The Driver protocol (repro.runtime.driver): the only surface
@@ -337,7 +346,7 @@ class Simulator:
             return
         thread.program_value = None
         if isinstance(op, Work):
-            thread.clock += op.ns * self._work_scale
+            thread.clock += op.ns * self._work_scale[thread.tid]
         elif isinstance(op, Transaction):
             thread.txn = _TxnState(make_body=op.body, label=op.label)
             self._begin_attempt(thread)
@@ -472,7 +481,7 @@ class Simulator:
                     )
                 )
         elif isinstance(op, Work):
-            thread.clock += op.ns * self._work_scale
+            thread.clock += op.ns * self._work_scale[thread.tid]
         elif isinstance(op, Alloc):
             txn.body_value = self.memory.alloc(op.cells)
             thread.clock += ALLOC_NS

@@ -1,0 +1,67 @@
+"""Shared fixtures for the cluster tests: tiny direct-drive programs
+(the STAMP-level coverage lives in the spec/runner/CLI tests)."""
+
+from repro.runtime import Memory, Read, Simulator, Transaction, Work, Write
+from repro.runtime.memory import CELLS_PER_CACHELINE
+
+
+def make_counter_program(counter_addr, increments):
+    def body():
+        value = yield Read(counter_addr)
+        yield Work(20)
+        yield Write(counter_addr, value + 1)
+        return value
+
+    def program(tid):
+        for _ in range(increments):
+            yield Transaction(body, label="inc")
+            yield Work(30)
+
+    return program
+
+
+def run_counter(backend, n_threads, increments=20, seed=0):
+    memory = Memory()
+    counter = memory.alloc(1)
+    memory.store(counter, 0)
+    sim = Simulator(
+        backend, n_threads, memory=memory, seed=seed, workload_name="counter"
+    )
+    stats = sim.run([make_counter_program(counter, increments)] * n_threads)
+    return memory.load(counter), stats
+
+
+def run_two_shard_transfers(rounds=1, work_ns=25, seed=0, backend=None):
+    """Two threads moving value between one account per shard (range
+    partition: line 0 -> shard 0, line 1 -> shard 1), in opposite
+    directions — every commit is cross-shard by construction."""
+    from repro.cluster import ClusterTMBackend
+
+    memory = Memory()
+    a = memory.alloc(CELLS_PER_CACHELINE)
+    b = memory.alloc(CELLS_PER_CACHELINE)
+    memory.store(a, 100)
+    memory.store(b, 100)
+    if backend is None:
+        backend = ClusterTMBackend(shards=2, partition="range")
+
+    def make_body(src, dst):
+        def body():
+            x = yield Read(src)
+            y = yield Read(dst)
+            yield Work(work_ns)
+            yield Write(src, x - 10)
+            yield Write(dst, y + 10)
+            return None
+
+        return body
+
+    def program(tid):
+        body = make_body(a, b) if tid == 0 else make_body(b, a)
+        for _ in range(rounds):
+            yield Transaction(body, label="xfer")
+
+    sim = Simulator(backend, 2, memory=memory, seed=seed, workload_name="xfer")
+    stats = sim.run([program] * 2)
+    total = memory.load(a) + memory.load(b)
+    return total, stats, backend

@@ -1,0 +1,96 @@
+"""Cluster observability: shard metrics, per-shard hw lanes, export."""
+
+from repro.cluster import ClusterTMBackend
+from repro.exec import ExperimentSpec
+from repro.exec.spec import WORKLOAD_REGISTRY
+from repro.obs import chrome_trace_payload, observe_stamp
+from repro.obs.export import HW_LANE_TIDS, _lane_tid
+
+
+def _observe(shards=4, workload="ssca2", n_threads=8):
+    return observe_stamp(
+        WORKLOAD_REGISTRY[workload],
+        ClusterTMBackend(shards=shards),
+        n_threads,
+        scale=0.1,
+        seed=1,
+    )
+
+
+class TestShardMetrics:
+    def test_shard_counters_populated(self):
+        _, _, registry = _observe()
+        snap = registry.snapshot()
+        counters = snap["counters"]
+        assert counters["shard.single_commits"] > 0
+        assert counters["shard.cross_commits"] > 0
+        # Per-home-shard family: one key per shard that committed.
+        homes = {k for k in counters if k.startswith("shard.commits.")}
+        assert homes
+        assert sum(counters[k] for k in homes) == (
+            counters["shard.single_commits"] + counters["shard.cross_commits"]
+        )
+
+    def test_prepare_latency_histogram(self):
+        _, _, registry = _observe()
+        snap = registry.snapshot()
+        hist = snap["histograms"]["shard.prepare_ns"]
+        assert hist["count"] > 0
+        assert hist["min"] > 0
+        involved = snap["histograms"]["shard.involved"]
+        assert involved["min"] >= 2  # cross-shard by definition
+
+    def test_single_node_runs_emit_no_shard_metrics(self):
+        _, _, registry = _observe(shards=1)
+        snap = registry.snapshot()
+        assert not any(k.startswith("shard.") for k in snap["counters"])
+
+    def test_spec_obs_snapshot_carries_shard_metrics(self):
+        stats = ExperimentSpec(
+            "ssca2", "ClusterTM", 8, scale=0.1, shards=4, obs=True
+        ).execute()
+        assert stats.metrics["counters"]["shard.cross_commits"] > 0
+
+
+class TestShardLanes:
+    def test_hw_lanes_prefixed_per_shard(self):
+        _, tracer, _ = _observe(shards=2)
+        lanes = {s.lane for s in tracer.spans if s.pid == "hw"}
+        assert any(str(lane).startswith("s1:") for lane in lanes)
+        # Shard 0 keeps the unprefixed single-node lane names.
+        assert "detector" in lanes
+
+    def test_2pc_spans_on_cpu_lanes(self):
+        _, tracer, _ = _observe(shards=2)
+        tpc = [s for s in tracer.spans if s.name == "2pc"]
+        assert tpc
+        for span in tpc:
+            assert span.pid == "cpu"
+            assert span.args["involved"] >= 2
+
+    def test_export_lane_tids_block_per_shard(self):
+        size = len(HW_LANE_TIDS)
+        assert _lane_tid("hw", "detector") == HW_LANE_TIDS["detector"]
+        assert _lane_tid("hw", "s1:detector") == size + HW_LANE_TIDS["detector"]
+        assert _lane_tid("hw", "s3:queue") == 3 * size + HW_LANE_TIDS["queue"]
+
+    def test_chrome_export_separates_shard_lanes(self):
+        _, tracer, _ = _observe(shards=2)
+        payload = chrome_trace_payload(tracer, backend="ClusterTM")
+        names = {
+            ev["tid"]: ev["args"]["name"]
+            for ev in payload["traceEvents"]
+            if ev.get("ph") == "M" and ev["name"] == "thread_name"
+            and ev["pid"] == 2
+        }
+        assert "detector" in names.values()
+        assert "s1:detector" in names.values()
+        # Distinct tids for every lane: no two lanes collide.
+        assert len(names) == len(set(names))
+
+    def test_export_deterministic(self):
+        _, t1, _ = _observe(shards=2)
+        _, t2, _ = _observe(shards=2)
+        a = chrome_trace_payload(t1, backend="ClusterTM")
+        b = chrome_trace_payload(t2, backend="ClusterTM")
+        assert a == b

@@ -1,0 +1,70 @@
+"""Partitioners: line alignment, determinism, coverage, clamping."""
+
+import pytest
+
+from repro.cluster import (
+    PARTITIONERS,
+    HashPartitioner,
+    RangePartitioner,
+    make_partitioner,
+)
+from repro.runtime.memory import CELLS_PER_CACHELINE
+
+
+class TestHashPartitioner:
+    def test_line_aligned(self):
+        part = HashPartitioner(4)
+        for line in range(64):
+            base = line * CELLS_PER_CACHELINE
+            owners = {part.shard_of(base + off) for off in range(CELLS_PER_CACHELINE)}
+            assert len(owners) == 1
+
+    def test_covers_every_shard(self):
+        part = HashPartitioner(8)
+        owners = {part.shard_of(line * CELLS_PER_CACHELINE) for line in range(256)}
+        assert owners == set(range(8))
+
+    def test_deterministic_across_instances(self):
+        a, b = HashPartitioner(4), HashPartitioner(4)
+        assert [a.shard_of(i) for i in range(512)] == [
+            b.shard_of(i) for i in range(512)
+        ]
+
+    def test_single_shard_owns_everything(self):
+        part = HashPartitioner(1)
+        assert {part.shard_of(i) for i in range(256)} == {0}
+
+
+class TestRangePartitioner:
+    def test_contiguous_ranges(self):
+        part = RangePartitioner(2)
+        part.bind(4 * CELLS_PER_CACHELINE)  # 4 lines, 2 per shard
+        assert part.shard_of(0) == 0
+        assert part.shard_of(1 * CELLS_PER_CACHELINE) == 0
+        assert part.shard_of(2 * CELLS_PER_CACHELINE) == 1
+        assert part.shard_of(3 * CELLS_PER_CACHELINE) == 1
+
+    def test_late_allocations_clamp_to_last_shard(self):
+        part = RangePartitioner(2)
+        part.bind(2 * CELLS_PER_CACHELINE)
+        assert part.shard_of(100 * CELLS_PER_CACHELINE) == 1
+
+    def test_unbound_defaults_are_line_granular(self):
+        part = RangePartitioner(4)
+        assert part.shard_of(0) == 0
+        assert part.shard_of(3 * CELLS_PER_CACHELINE) == 3
+
+
+class TestFactory:
+    def test_registry_policies(self):
+        assert set(PARTITIONERS) == {"hash", "range"}
+        for policy in PARTITIONERS:
+            assert make_partitioner(policy, 2).policy == policy
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_partitioner("round-robin", 2)
+
+    def test_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
