@@ -107,6 +107,11 @@ EVENT_SCHEMAS: Dict[str, EventSchema] = {
             "decided_ns",
         ),
         _schema("shard_open", "cluster backend", "shard", "home"),
+        # End-of-run address→query-mask cache effectiveness, one event
+        # per ROCoCoTM instance (so one per shard under ClusterTM).
+        # Like "sched", it never enters RunStats: observable only over
+        # the bus, so enabling it cannot move a benchmark byte.
+        _schema("mask_cache", "hybrid backend", "hits", "misses", "entries", "shard"),
         _schema("fault", "chaos engine", "kind", "count"),
         _schema("failover", "degradation ladder", "mode", "timeouts"),
         _schema("failback", "degradation ladder", "mode", "timeouts"),
@@ -235,6 +240,9 @@ METRICS: Tuple[MetricSpec, ...] = (
     _histogram("hw.window_occupancy", "sliding-window residency"),
     _histogram("hw.occupancy_cycles", "detector occupancy per request"),
     _gauge("hw.window_resident", "peak window residency"),
+    _counter("hw.mask_cache.hits", "query-mask lookups served from the cache"),
+    _counter("hw.mask_cache.misses", "first-touch addresses interned"),
+    _gauge("hw.mask_cache.entries", "peak interned mask-store size"),
     # shard.* — the cluster layer (repro.cluster).
     _counter("shard.single_commits", "single-shard fast-path commits"),
     _counter("shard.cross_commits", "cross-shard 2PC commits"),

@@ -8,8 +8,11 @@ bookkeeping is updated in ascending shard order within that instant.
 Only the *timing* is two-phase:
 
 1. **Prepare** — the coordinator ships each involved shard its slice
-   of the read/write sets; remote shards cost an inter-shard hop each
-   way (the same CCI-class constants as the CPU–FPGA link,
+   of the read/write sets (plus the slice's incremental bloom
+   signatures, which the decide-phase window bookkeeping unions
+   instead of re-hashing — see ``ValidationRequest.read_raw``);
+   remote shards cost an inter-shard hop each way (the same CCI-class
+   constants as the CPU–FPGA link,
    :func:`repro.hw.link.harp2_cci_link`).  Each shard's engine runs
    the *non-mutating* freshness certify
    (:meth:`repro.hw.manager.ValidationManager.certify`): zero forward

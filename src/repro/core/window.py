@@ -54,6 +54,11 @@ class WindowMatrix:
             raise ValueError("window must hold at least one transaction")
         self.window = window
         self._rows: List[int] = []
+        #: exact transpose of ``_rows`` (``cols[j]`` bit *i* means slot
+        #: *i* reaches slot *j*), maintained so the backward
+        #: matrix-vector product and the eviction-time "who reaches
+        #: slot 0" scan iterate only *set* bits instead of all W slots.
+        self._cols: List[int] = []
         self._taint: int = 0
 
     def __len__(self) -> int:
@@ -82,12 +87,24 @@ class WindowMatrix:
         """Insert a validated candidate as the newest slot.
 
         Returns True if an eviction happened (the window was full).
+        Rows are updated by iterating only the *set* bits of the
+        succeeding vector (usually sparse under low contention).
         """
         k = len(self._rows)
-        for i in range(k):
-            if succeeding >> i & 1:
-                self._rows[i] |= proceeding | (1 << k)
-        self._rows.append(proceeding | (1 << k))
+        new_row = proceeding | (1 << k)
+        bits = succeeding
+        while bits:
+            low = bits & -bits
+            self._rows[low.bit_length() - 1] |= new_row
+            bits ^= low
+        self._rows.append(new_row)
+        self._cols.append(0)
+        incoming = succeeding | (1 << k)
+        bits = new_row
+        while bits:
+            low = bits & -bits
+            self._cols[low.bit_length() - 1] |= incoming
+            bits ^= low
         if len(self._rows) > self.window:
             self._evict_oldest()
             return True
@@ -96,22 +113,25 @@ class WindowMatrix:
     def _evict_oldest(self) -> None:
         """Discard slot 0 (``h_{W-1}`` in Fig. 5) and renumber.
 
-        Residents that reach the evicted transaction become tainted;
+        Residents that reach the evicted transaction become tainted —
+        exactly the set bits of the evicted slot's *column* — and
         existing taint shifts down with the renumbering.
         """
-        evicted_reachers = 0
-        for i, row in enumerate(self._rows[1:], start=1):
-            if row & 1:
-                evicted_reachers |= 1 << (i - 1)
+        evicted_reachers = self._cols[0] >> 1
         self._rows = [row >> 1 for row in self._rows[1:]]
+        self._cols = [col >> 1 for col in self._cols[1:]]
         self._taint = (self._taint >> 1) | evicted_reachers
 
     # ------------------------------------------------------------------
     def _mv(self, vec: int) -> int:
+        """Slots with an edge *into* ``vec``: an OR over the columns
+        of the set bits of ``vec`` (sparse under low contention)."""
         out = 0
-        for i, row in enumerate(self._rows):
-            if row & vec:
-                out |= 1 << i
+        cols = self._cols
+        while vec:
+            low = vec & -vec
+            out |= cols[low.bit_length() - 1]
+            vec ^= low
         return out
 
     def _mv_transposed(self, vec: int) -> int:

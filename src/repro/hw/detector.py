@@ -14,15 +14,38 @@ oldest first, so the produced forward/backward masks feed the matrix
 directly.
 
 The W-way, 8-address-per-cycle parallel compare of the hardware is
-modelled with numpy word arrays: each address expands to its k-bit
-query mask once, then a single vectorized AND+compare covers all W
-signatures — the same dataflow as the RTL, at array granularity.
+modelled at array granularity, one vectorized pass per request:
+
+* every address's k-bit query mask is interned once in the shared
+  :class:`SignatureConfig` cache and gathered into an ``(A, words)``
+  matrix — no per-address re-hashing;
+* a single broadcasted AND+compare covers all W signatures × all A
+  addresses at once — the same dataflow as the RTL's W-way compare
+  tree;
+* the W slots live in a **ring buffer** (head index + modular slot
+  math), so evicting ``h_{W-1}`` on commit is O(1) instead of
+  shifting two ``(W, words)`` arrays.  Logical (oldest-first) slot
+  *i* lives at physical row ``(head + i) % W``; the whole request is
+  processed in physical order — hit vectors, the snapshot-observed
+  compare (a vectorized test against a per-slot commit-index array,
+  vacant slots pinned to a never-observed sentinel), and the boolean
+  packing — and only the final packed *integer* mask is rotated by
+  ``head`` (two shifts and an OR) into logical numbering.  Vacant
+  rows are all-zero and can never match a non-empty query mask, so
+  they contribute no bits.
+
+Commit-time bookkeeping takes the transaction's *incremental*
+signatures when the request carries them (the CPU built both during
+execution — Algorithm 1), falling back to hashing the address sets
+through the mask cache otherwise.  Either way the recorded raws are
+bit-identical, so verdicts cannot depend on which path ran.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Hashable, Iterable, List, Sequence, Tuple
+from typing import Deque, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,11 +58,27 @@ def _signature_words(config: SignatureConfig) -> int:
     return (config.bits + _WORD - 1) // _WORD
 
 
+#: per-slot commit index of a vacant slot: never observed by any
+#: snapshot, so vacant slots cannot contribute backward-RAW bits.
+_NEVER = np.iinfo(np.int64).max
+
+
 def _raw_to_words(raw: int, words: int) -> np.ndarray:
-    out = np.zeros(words, dtype=np.uint64)
-    for i in range(words):
-        out[i] = (raw >> (i * _WORD)) & 0xFFFFFFFFFFFFFFFF
-    return out
+    """Pack an m-bit Python int into a ``(words,)`` uint64 row."""
+    return np.frombuffer(raw.to_bytes(words * 8, "little"), dtype="<u8")
+
+
+def _bools_to_mask(bools: np.ndarray) -> int:
+    """Pack a boolean slot vector into an int bitmask (bit i = slot i).
+
+    One little-endian ``np.packbits`` pass, any window width; the
+    dot-against-powers-of-two formulation it replaced survives as the
+    reference oracle in ``tests/hw`` alongside the original per-bit
+    loop.
+    """
+    return int.from_bytes(
+        np.packbits(bools, bitorder="little").tobytes(), "little"
+    )
 
 
 @dataclass(frozen=True)
@@ -61,9 +100,28 @@ class ConflictDetector:
         self.config = config
         self.window = window
         self._words = _signature_words(config)
-        self._read_sigs = np.zeros((window, self._words), dtype=np.uint64)
-        self._write_sigs = np.zeros((window, self._words), dtype=np.uint64)
-        self._entries: List[Bookkeeping] = []
+        #: one combined store: physical rows ``[0, W)`` hold the
+        #: write-set signatures, rows ``[W, 2W)`` the read-set ones,
+        #: so one broadcasted compare covers both halves per request.
+        self._sigs = np.zeros((2 * window, self._words), dtype=np.uint64)
+        #: resident entries, oldest first (logical slot order).
+        self._entries: Deque[Bookkeeping] = deque()
+        #: physical row of logical slot 0.  Stays 0 until the first
+        #: eviction (the window fills in place), then advances mod W.
+        self._head = 0
+        #: per-physical-slot commit index (vacant slots: ``_NEVER``),
+        #: so the snapshot-observed test is one vectorized compare.
+        self._commit_idx = np.full(window, _NEVER, dtype=np.int64)
+        #: sticky: have the recorded commit indices been consecutive?
+        #: The manager numbers commits 0, 1, 2, ... so the resident
+        #: indices are always a contiguous run and the snapshot-
+        #: observed set is a logical-order *prefix* — deriving
+        #: forward/backward from the packed hit masks with integer ops
+        #: alone.  Any out-of-sequence record (only reachable through
+        #: direct detector use) clears the flag and the vectorized
+        #: per-slot compare takes over; both paths are bit-identical.
+        self._consecutive = True
+        self._full_mask = (1 << window) - 1
 
     # ------------------------------------------------------------------
     @property
@@ -78,19 +136,21 @@ class ConflictDetector:
         return list(self._entries)
 
     # ------------------------------------------------------------------
-    def _query_mask(self, addresses: Sequence[int], sigs: np.ndarray) -> np.ndarray:
-        """Boolean per-slot vector: does any address query positive?"""
-        n = len(self._entries)
-        hit = np.zeros(n, dtype=bool)
-        if n == 0:
-            return hit
-        live = sigs[:n]
-        for addr in addresses:
-            mask_words = np.zeros(self._words, dtype=np.uint64)
-            for pos in self.config.bit_positions(addr):
-                mask_words[pos // _WORD] |= np.uint64(1 << (pos % _WORD))
-            hit |= ((live & mask_words) == mask_words).all(axis=1)
-        return hit
+    def _rotate(self, mask: int) -> int:
+        """Rotate a *physical*-order slot bitmask into logical
+        (oldest-first) numbering — logical slot i lives at physical
+        row ``(head + i) % W``."""
+        head = self._head
+        if head:
+            mask = (
+                (mask >> head) | (mask << (self.window - head))
+            ) & self._full_mask
+        return mask
+
+    def _pack(self, bools: np.ndarray) -> int:
+        """Pack a physical-order slot vector into a *logical*-order
+        bitmask: one boolean pack plus the integer head rotation."""
+        return self._rotate(_bools_to_mask(bools))
 
     def edges(
         self,
@@ -104,20 +164,74 @@ class ConflictDetector:
         (``commit_index < snapshot``) is a RAW backward edge; against
         an unobserved slot it is the stale-read forward edge.  Write
         conflicts (vs the slot's writes or reads) are always backward.
-        """
-        n = len(self._entries)
-        if n == 0:
-            return 0, 0
-        read_hits = self._query_mask(read_addrs, self._write_sigs)
-        write_hits = self._query_mask(write_addrs, self._write_sigs)
-        write_hits |= self._query_mask(write_addrs, self._read_sigs)
 
-        observed = np.fromiter(
-            (e.commit_index < snapshot for e in self._entries), dtype=bool, count=n
+        One ``(2W, A, words)`` broadcasted AND+compare covers every
+        address against both signature halves at once — the same
+        dataflow as the RTL's W-way compare tree.  Vacant rows are
+        all-zero and can never contain a non-empty mask, so they
+        always come out False.  The resulting boolean matrix is packed
+        in a single ``np.packbits`` pass into one per-address bitmask
+        integer each; the OR-across-addresses, the read/write-half
+        split, and the head rotation are then plain integer ops.
+        """
+        if not self._entries:
+            return 0, 0
+        n_read = len(read_addrs)
+        n_write = len(write_addrs)
+        if not n_read and not n_write:
+            return 0, 0
+        masks = self.config.query_words((*read_addrs, *write_addrs))
+        window = self.window
+        hits = (
+            ((self._sigs[:, None, :] & masks[None, :, :]) == masks[None, :, :])
+            .all(axis=2)
         )
-        forward = _bools_to_mask(read_hits & ~observed)
-        backward = _bools_to_mask((read_hits & observed) | write_hits)
+        # One per-address field of ceil(2W/8)*8 bits, low W bits = the
+        # write-sig half, next W bits = the read-sig half.
+        packed = int.from_bytes(
+            np.packbits(hits.T, axis=1, bitorder="little").tobytes(), "little"
+        )
+        field_bits = ((2 * window + 7) // 8) * 8
+        half = self._full_mask
+
+        read_hits = 0
+        for a in range(n_read):
+            read_hits |= packed >> (a * field_bits)
+        read_hits &= half
+        write_hits = 0
+        for a in range(n_read, n_read + n_write):
+            field = packed >> (a * field_bits)
+            write_hits |= field | (field >> window)
+        write_hits &= half
+
+        forward = 0
+        backward = 0
+        if n_read:
+            read_mask = self._rotate(read_hits)
+            observed_mask = self._observed_prefix(snapshot)
+            if observed_mask is None:
+                # Non-consecutive history: per-slot vectorized compare
+                # (physical order, rotated during the pack).
+                observed_mask = self._pack(self._commit_idx < snapshot)
+            forward = read_mask & ~observed_mask
+            backward = read_mask & observed_mask
+        if n_write:
+            backward |= self._rotate(write_hits)
         return forward, backward
+
+    def _observed_prefix(self, snapshot: int) -> Optional[int]:
+        """Logical-order bitmask of resident slots with
+        ``commit_index < snapshot`` — ``(1 << t) - 1`` when the
+        resident indices are one consecutive run, else None."""
+        if not self._consecutive:
+            return None
+        t = snapshot - self._entries[0].commit_index
+        n = len(self._entries)
+        if t <= 0:
+            return 0
+        if t >= n:
+            return (1 << n) - 1
+        return (1 << t) - 1
 
     # ------------------------------------------------------------------
     def record_commit(
@@ -126,30 +240,39 @@ class ConflictDetector:
         commit_index: int,
         read_addrs: Iterable[int],
         write_addrs: Iterable[int],
+        read_raw: Optional[int] = None,
+        write_raw: Optional[int] = None,
     ) -> bool:
         """Append bookkeeping ``h_{-1}``; evicts ``h_{W-1}`` when full.
 
+        ``read_raw``/``write_raw`` are the transaction's incremental
+        signatures when the CPU shipped them; omitted, the address
+        sets are folded through the mask cache (bit-identical result).
         Returns True when an eviction happened (the caller's matrix
         must shift in lock-step).
         """
-        read_sig = self.config.of(read_addrs)
-        write_sig = self.config.of(write_addrs)
-        entry = Bookkeeping(label, commit_index, read_sig.raw, write_sig.raw)
+        config = self.config
+        if read_raw is None:
+            read_raw = config.raw_of(tuple(read_addrs))
+        if write_raw is None:
+            write_raw = config.raw_of(tuple(write_addrs))
+        entry = Bookkeeping(label, commit_index, read_raw, write_raw)
 
+        if self._entries and commit_index != self._entries[-1].commit_index + 1:
+            self._consecutive = False
         evicted = len(self._entries) == self.window
         if evicted:
-            del self._entries[0]
-            self._read_sigs[:-1] = self._read_sigs[1:]
-            self._write_sigs[:-1] = self._write_sigs[1:]
-        slot = len(self._entries)
+            self._entries.popleft()
+            slot = self._head
+            self._head = (self._head + 1) % self.window
+        else:
+            slot = len(self._entries)
         self._entries.append(entry)
-        self._read_sigs[slot] = _raw_to_words(entry.read_raw, self._words)
-        self._write_sigs[slot] = _raw_to_words(entry.write_raw, self._words)
+        # One conversion for both halves: write words then read words.
+        both = _raw_to_words(
+            write_raw | (read_raw << (self._words * _WORD)), 2 * self._words
+        )
+        self._sigs[slot] = both[: self._words]
+        self._sigs[self.window + slot] = both[self._words :]
+        self._commit_idx[slot] = commit_index
         return evicted
-
-
-def _bools_to_mask(bools: np.ndarray) -> int:
-    mask = 0
-    for i in np.nonzero(bools)[0]:
-        mask |= 1 << int(i)
-    return mask

@@ -29,12 +29,22 @@ from .detector import ConflictDetector
 @dataclass(frozen=True)
 class ValidationRequest:
     """What the CPU ships for one transaction (§5.3): the read and
-    write sets *as addresses*, plus the snapshot (ValidTS)."""
+    write sets *as addresses*, plus the snapshot (ValidTS).
+
+    ``read_raw``/``write_raw`` are the transaction's *incremental*
+    bloom signatures — ROCoCoTM accumulates both while the transaction
+    executes (Algorithm 1), so shipping them costs nothing and lets
+    the detector's commit bookkeeping union two ints instead of
+    re-hashing every address.  They are strictly an optimization: a
+    request without them produces bit-identical verdicts (the detector
+    re-derives the same raws through the mask cache)."""
 
     label: Hashable
     read_addrs: Tuple[int, ...]
     write_addrs: Tuple[int, ...]
     snapshot: int
+    read_raw: Optional[int] = None
+    write_raw: Optional[int] = None
 
     @property
     def n_addresses(self) -> int:
@@ -105,7 +115,12 @@ class ValidationManager:
 
         self.matrix.commit(proceeding, succeeding)
         self.detector.record_commit(
-            request.label, self.total_commits, request.read_addrs, request.write_addrs
+            request.label,
+            self.total_commits,
+            request.read_addrs,
+            request.write_addrs,
+            read_raw=request.read_raw,
+            write_raw=request.write_raw,
         )
         self.total_commits += 1
         self.stats_commits += 1
@@ -151,6 +166,8 @@ class ValidationManager:
         label: Hashable,
         read_addrs: Tuple[int, ...],
         write_addrs: Tuple[int, ...],
+        read_raw: Optional[int] = None,
+        write_raw: Optional[int] = None,
     ) -> None:
         """Enter a commit decided *off-engine* into the bookkeeping.
 
@@ -168,7 +185,14 @@ class ValidationManager:
         )
         _, proceeding, succeeding = self.matrix.probe(forward, backward)
         self.matrix.commit(proceeding, succeeding)
-        self.detector.record_commit(label, self.total_commits, read_addrs, write_addrs)
+        self.detector.record_commit(
+            label,
+            self.total_commits,
+            read_addrs,
+            write_addrs,
+            read_raw=read_raw,
+            write_raw=write_raw,
+        )
         self.total_commits += 1
         self.stats_external_commits += 1
 

@@ -185,6 +185,7 @@ class MetricsCollector:
         "wake",
         "backoff",
         "validate",
+        "mask_cache",
         "route",
         "xshard",
         "shard_open",
@@ -266,6 +267,13 @@ class MetricsCollector:
                 "hw.occupancy_cycles", data["occupancy_cycles"], OCCUPANCY_BOUNDS
             )
             reg.gauge("hw.window_resident", data["window_resident"])
+        elif kind == "mask_cache":
+            # One per backend instance at end of run; counters add
+            # across shards, the store-size gauge combines by max.
+            data = event.data
+            reg.count("hw.mask_cache.hits", data["hits"])
+            reg.count("hw.mask_cache.misses", data["misses"])
+            reg.gauge("hw.mask_cache.entries", data["entries"])
         elif kind == "route":
             # Emitted only on *successful* cluster commits, keyed by
             # the owning (single-shard) or home (cross-shard) shard.

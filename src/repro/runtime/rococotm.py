@@ -114,7 +114,15 @@ class RococoTMBackend(TMBackend):
         ``engine.submit`` call.
         """
         super().__init__()
-        self.config = signature_config or SignatureConfig()
+        if signature_config is not None:
+            self.config = signature_config
+        elif engine is not None:
+            # Adopt the injected engine's configuration: the CPU-side
+            # signatures ride to the engine as raw bits (ValidationRequest
+            # read_raw/write_raw), so both sides must hash identically.
+            self.config = engine.manager.config
+        else:
+            self.config = SignatureConfig()
         self.engine = engine or FpgaValidationEngine(window=window, config=self.config)
         policy = degradation or DegradationPolicy()
         if getattr(self.engine, "plan", None) is not None and getattr(
@@ -288,12 +296,16 @@ class RococoTMBackend(TMBackend):
             raise TransactionAborted("cpu-irrevocable-fence")
 
         # Ship addresses + ValidTS to the FPGA and wait for the verdict.
+        # The signatures accumulated during execution ride along so the
+        # engine's commit bookkeeping never re-hashes the address sets.
         self._label += 1
         request = ValidationRequest(
             label=self._label,
             read_addrs=tuple(txn.read_addrs),
             write_addrs=tuple(txn.write_addrs),
             snapshot=txn.valid_ts,
+            read_raw=txn.read_sig.raw,
+            write_raw=txn.write_sig.raw,
         )
         try:
             response = self.degradation.submit(request, now, self.stats)
@@ -416,7 +428,11 @@ class RococoTMBackend(TMBackend):
             # snapshots count it, so it must occupy a window slot.
             self._label += 1
             self.engine.manager.record_external_commit(
-                self._label, tuple(txn.read_addrs), tuple(txn.write_addrs)
+                self._label,
+                tuple(txn.read_addrs),
+                tuple(txn.write_addrs),
+                read_raw=txn.read_sig.raw,
+                write_raw=txn.write_sig.raw,
             )
         self._irrevocable.discard(tid)
         self._failures[tid] = 0
@@ -481,6 +497,8 @@ class RococoTMBackend(TMBackend):
             read_addrs=tuple(txn.read_addrs),
             write_addrs=tuple(txn.write_addrs),
             snapshot=txn.valid_ts,
+            read_raw=txn.read_sig.raw,
+            write_raw=txn.write_sig.raw,
         )
 
     def certify(self, request: ValidationRequest, now: float):
@@ -506,7 +524,11 @@ class RococoTMBackend(TMBackend):
             self.commit_queue.append(txn.write_sig)
             self.global_ts += 1
             self.engine.manager.record_external_commit(
-                self._label, tuple(txn.read_addrs), tuple(txn.write_addrs)
+                self._label,
+                tuple(txn.read_addrs),
+                tuple(txn.write_addrs),
+                read_raw=txn.read_sig.raw,
+                write_raw=txn.write_sig.raw,
             )
         self._failures[tid] = 0
         self._txns.pop(tid, None)
@@ -538,14 +560,12 @@ class RococoTMBackend(TMBackend):
         for addr, value in redo_items:
             self.memory.store(addr, value)
         if write_addrs:
-            signature = self.config.new()
-            for addr in write_addrs:
-                signature.insert(addr)
+            signature = self.config.of(write_addrs)
             self.commit_queue.append(signature)
             self.global_ts += 1
             self._label += 1
             self.engine.manager.record_external_commit(
-                self._label, read_addrs, write_addrs
+                self._label, read_addrs, write_addrs, write_raw=signature.raw
             )
 
     # ------------------------------------------------------------------
@@ -561,3 +581,23 @@ class RococoTMBackend(TMBackend):
         if counts:
             self.stats.faults_injected.update(counts)
         self.stats.link_retries += getattr(self.engine, "link_retries", 0)
+        bus = getattr(self.driver, "bus", None)
+        if bus is not None and bus.wants("mask_cache"):
+            # End-of-run mask-cache effectiveness, mirrored from the
+            # shared SignatureConfig (one event per shard).  Never
+            # enters RunStats, so stamps stay byte-identical whether
+            # or not anyone is observing.
+            config = self.config
+            bus.emit(
+                SimEvent(
+                    "mask_cache",
+                    -1,
+                    self.stats.makespan_ns,
+                    data={
+                        "hits": config.mask_cache_hits,
+                        "misses": config.mask_cache_misses,
+                        "entries": config.mask_cache_entries,
+                        "shard": self.shard_id,
+                    },
+                )
+            )

@@ -1,0 +1,193 @@
+"""Ring-buffer detector vs an array-shift reference (PR 10).
+
+The vectorized :class:`ConflictDetector` stores its W slots in a ring
+buffer (head index + modular slot math) and computes edge masks in
+physical order, rotating only the final packed integer.  These tests
+drive W + k commits — several full wraparounds — against an
+independent array-shift model that keeps slots physically oldest-first
+and queries each address with *uncached* bit positions, asserting that
+``edges()`` masks, ``oldest_commit_index``, and the resident entries
+agree bit-for-bit at every step.
+
+The pre-vectorization boolean packing survives here as the reference
+oracle for ``_bools_to_mask`` (both the original per-bit loop and the
+dot-against-powers-of-two formulation it briefly became).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.hw import ConflictDetector
+from repro.hw.detector import _bools_to_mask
+from repro.signatures import SignatureConfig
+
+
+# ----------------------------------------------------------------------
+# Reference model: physical oldest-first slots, per-address queries.
+# ----------------------------------------------------------------------
+
+
+class ArrayShiftDetector:
+    """The pre-PR10 semantics: shift-down eviction, big-int queries."""
+
+    def __init__(self, config, window):
+        self.config = config
+        self.window = window
+        self.entries = []  # (commit_index, read_raw, write_raw), oldest first
+
+    def _bit_positions(self, element):
+        width = self.config.partition_bits
+        return [i * width + h(element) for i, h in enumerate(self.config.hashes)]
+
+    def _raw_of(self, addrs):
+        raw = 0
+        for addr in addrs:
+            for pos in self._bit_positions(addr):
+                raw |= 1 << pos
+        return raw
+
+    @property
+    def oldest_commit_index(self):
+        return self.entries[0][0] if self.entries else 0
+
+    def record_commit(self, commit_index, read_addrs, write_addrs):
+        if len(self.entries) == self.window:
+            del self.entries[0]
+        self.entries.append(
+            (commit_index, self._raw_of(read_addrs), self._raw_of(write_addrs))
+        )
+
+    def edges(self, read_addrs, write_addrs, snapshot):
+        read_masks = [self._raw_of([a]) for a in read_addrs]
+        write_masks = [self._raw_of([a]) for a in write_addrs]
+        forward = 0
+        backward = 0
+        for slot, (commit_index, read_raw, write_raw) in enumerate(self.entries):
+            bit = 1 << slot
+            if any(write_raw & m == m for m in read_masks):
+                if commit_index < snapshot:
+                    backward |= bit
+                else:
+                    forward |= bit
+            if any(write_raw & m == m for m in write_masks) or any(
+                read_raw & m == m for m in write_masks
+            ):
+                backward |= bit
+        return forward, backward
+
+
+def _stream(rng, txns, space=4096, n_reads=3, n_writes=2):
+    out = []
+    for _ in range(txns):
+        addrs = rng.sample(range(space), n_reads + n_writes)
+        out.append((tuple(addrs[:n_reads]), tuple(addrs[n_reads:])))
+    return out
+
+
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("window", [3, 8, 64, 100])
+def test_wraparound_matches_array_shift_reference(window):
+    """W + k commits (several wraparounds) with a probe after each."""
+    config = SignatureConfig()
+    live = ConflictDetector(config, window)
+    ref = ArrayShiftDetector(config, window)
+    rng = random.Random(1234 + window)
+
+    for commit_index, (reads, writes) in enumerate(
+        _stream(rng, 3 * window + 7)
+    ):
+        probe_reads, probe_writes = _stream(rng, 1)[0]
+        snapshot = rng.randint(max(0, commit_index - window), commit_index)
+        assert live.edges(probe_reads, probe_writes, snapshot) == ref.edges(
+            probe_reads, probe_writes, snapshot
+        ), (window, commit_index)
+
+        live.record_commit(commit_index, commit_index, reads, writes)
+        ref.record_commit(commit_index, reads, writes)
+        assert live.oldest_commit_index == ref.oldest_commit_index
+        assert live.resident == len(ref.entries)
+        assert [e.commit_index for e in live.entries()] == [
+            e[0] for e in ref.entries
+        ]
+
+
+@pytest.mark.parametrize("window", [4, 16])
+def test_non_consecutive_commit_indices_fall_back(window):
+    """Gapped commit indices (direct detector use) must disable the
+    prefix fast path and still agree with the reference."""
+    config = SignatureConfig()
+    live = ConflictDetector(config, window)
+    ref = ArrayShiftDetector(config, window)
+    rng = random.Random(99)
+
+    commit_index = 0
+    for step, (reads, writes) in enumerate(_stream(rng, 3 * window)):
+        commit_index += rng.randint(1, 3)  # gaps -> non-consecutive
+        live.record_commit(step, commit_index, reads, writes)
+        ref.record_commit(commit_index, reads, writes)
+
+        probe_reads, probe_writes = _stream(rng, 1)[0]
+        snapshot = rng.randint(0, commit_index + 1)
+        assert live.edges(probe_reads, probe_writes, snapshot) == ref.edges(
+            probe_reads, probe_writes, snapshot
+        ), (window, step)
+    assert not live._consecutive
+
+
+def test_shipped_signatures_equal_rehash():
+    """record_commit with incremental raws is bit-identical to the
+    address-set fallback (the ValidationRequest.read_raw contract)."""
+    config = SignatureConfig()
+    with_sigs = ConflictDetector(config, 8)
+    without = ConflictDetector(config, 8)
+    rng = random.Random(7)
+    for commit_index, (reads, writes) in enumerate(_stream(rng, 20)):
+        read_raw = config.of(reads).raw
+        write_raw = config.of(writes).raw
+        with_sigs.record_commit(
+            commit_index, commit_index, reads, writes,
+            read_raw=read_raw, write_raw=write_raw,
+        )
+        without.record_commit(commit_index, commit_index, reads, writes)
+        probe_reads, probe_writes = _stream(rng, 1)[0]
+        snapshot = rng.randint(0, commit_index + 1)
+        assert with_sigs.edges(
+            probe_reads, probe_writes, snapshot
+        ) == without.edges(probe_reads, probe_writes, snapshot)
+
+
+# ----------------------------------------------------------------------
+# Boolean packing oracles.
+# ----------------------------------------------------------------------
+
+
+def _bools_to_mask_bit_loop(bools):
+    """The original per-bit packing (pre-PR10)."""
+    mask = 0
+    for i in np.nonzero(bools)[0]:
+        mask |= 1 << int(i)
+    return mask
+
+
+def _bools_to_mask_pow2_dot(bools):
+    """The dot-against-powers-of-two formulation."""
+    pow2 = np.uint64(1) << np.arange(64, dtype=np.uint64)
+    mask = 0
+    for base in range(0, bools.size, 64):
+        chunk = bools[base : base + 64]
+        mask |= int((chunk * pow2[: chunk.size]).sum(dtype=np.uint64)) << base
+    return mask
+
+
+@pytest.mark.parametrize("size", [1, 7, 63, 64, 65, 128, 200])
+def test_bools_to_mask_matches_oracles(size):
+    rng = np.random.default_rng(size)
+    for density in (0.0, 0.1, 0.5, 1.0):
+        bools = rng.random(size) < density
+        expected = _bools_to_mask_bit_loop(bools)
+        assert _bools_to_mask(bools) == expected
+        assert _bools_to_mask_pow2_dot(bools) == expected
